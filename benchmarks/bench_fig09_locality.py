@@ -1,0 +1,38 @@
+"""Figure 9 — locality-enhancing task mapping (memory, access, splines)."""
+
+from conftest import emit
+
+from repro.experiments import (
+    run_fig09a_memory,
+    run_fig09b_dense_access,
+    run_fig09c_splines,
+)
+from repro.experiments.common import full_scale_enabled
+
+
+def test_fig09a_hamiltonian_memory(benchmark):
+    """Per-rank Hamiltonian storage, existing vs proposed (RBD-like)."""
+    ranks = (64, 128, 256, 512) if full_scale_enabled() else (64, 256, 512)
+    result = benchmark.pedantic(
+        run_fig09a_memory, args=(ranks,), iterations=1, rounds=1
+    )
+    emit(benchmark, result.render())
+    assert all(
+        avg < ex for avg, ex in zip(result.proposed_avg_kb, result.existing_kb)
+    )
+
+
+def test_fig09b_dense_access_gains(benchmark):
+    """n(1)/H(1) improvements from dense local Hamiltonian access."""
+    result = benchmark.pedantic(run_fig09b_dense_access, iterations=1, rounds=1)
+    emit(benchmark, result.render())
+    assert all(gain > 0 for gain in result.improvements().values())
+
+
+def test_fig09c_spline_counts(benchmark):
+    """Cubic splines constructed per rank under both mappings."""
+    result = benchmark.pedantic(
+        run_fig09c_splines, kwargs={"n_ranks": 512}, iterations=1, rounds=1
+    )
+    emit(benchmark, result.render())
+    assert result.proposed_counts.mean() < result.existing_counts.mean()

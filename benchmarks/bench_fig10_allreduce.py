@@ -1,0 +1,38 @@
+"""Figure 10 — rho_multipole AllReduce: baseline vs packed vs hierarchical."""
+
+from conftest import emit
+
+from repro.experiments import run_fig10_allreduce
+from repro.experiments.common import full_scale_enabled
+from repro.experiments.fig10_allreduce import PAPER_RANKS_HPC1
+from repro.runtime import HPC1_SUNWAY, HPC2_AMD
+
+_QUICK = {30002: (256, 1024, 4096), 60002: (512, 2048, 8192)}
+
+
+def _sweep():
+    return PAPER_RANKS_HPC1 if full_scale_enabled() else _QUICK
+
+
+def test_fig10a_allreduce_hpc1(benchmark):
+    """HPC#1: packed vs baseline (no SHM, so no hierarchical variant)."""
+    result = benchmark.pedantic(
+        run_fig10_allreduce, args=(HPC1_SUNWAY,), kwargs={"sweeps": _sweep()},
+        iterations=1, rounds=1,
+    )
+    emit(benchmark, result.render())
+    speedups = result.speedups("packed")
+    assert all(s > 5.0 for s in speedups.values())  # paper: 8.2x - 34.9x
+
+
+def test_fig10b_allreduce_hpc2(benchmark):
+    """HPC#2: packed and packed-hierarchical vs baseline."""
+    result = benchmark.pedantic(
+        run_fig10_allreduce, args=(HPC2_AMD,), kwargs={"sweeps": _sweep()},
+        iterations=1, rounds=1,
+    )
+    emit(benchmark, result.render())
+    packed = result.speedups("packed")
+    hier = result.speedups("packed_hierarchical")
+    for key in packed:
+        assert hier[key] > packed[key] > 1.0  # hierarchy strictly wins

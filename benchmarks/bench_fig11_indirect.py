@@ -1,0 +1,21 @@
+"""Figure 11 — init-phase speedups from indirect-access elimination."""
+
+from conftest import emit
+
+from repro.experiments import run_fig11_indirect
+from repro.experiments.common import full_scale_enabled
+from repro.experiments.fig11_indirect import PAPER_SWEEP
+
+_QUICK = {30002: (256, 1024, 4096)}
+
+
+def test_fig11_indirect_elimination(benchmark):
+    sweep = PAPER_SWEEP if full_scale_enabled() else _QUICK
+    result = benchmark.pedantic(
+        run_fig11_indirect, kwargs={"sweep": sweep}, iterations=1, rounds=1
+    )
+    emit(benchmark, result.render())
+    # Both machines gain; HPC#1 (no latency hiding) gains more.
+    s1, s2 = result.speedups("HPC#1"), result.speedups("HPC#2")
+    assert min(s1) > 1.5 and min(s2) > 1.0
+    assert max(s1) > max(s2)

@@ -1,0 +1,27 @@
+"""Figure 12 — fusing the widely-dependent v(1) kernels."""
+
+from conftest import emit
+
+from repro.experiments import run_fig12a_volumes, run_fig12b_horizontal
+from repro.experiments.common import full_scale_enabled
+from repro.experiments.fig12_fusion import PAPER_SWEEP_12B
+
+_QUICK = {30002: (256, 1024, 4096)}
+
+
+def test_fig12a_shared_data_vs_rma(benchmark):
+    """rho_multipole_spl fits the 64 KB RMA window; delta_v_hart_part_spl doesn't."""
+    result = benchmark.pedantic(run_fig12a_volumes, iterations=1, rounds=1)
+    emit(benchmark, result.render())
+    assert result.vertical_applied["rho_multipole_spl"]
+    assert not result.vertical_applied["delta_v_hart_part_spl"]
+
+
+def test_fig12b_horizontal_fusion(benchmark):
+    sweep = PAPER_SWEEP_12B if full_scale_enabled() else _QUICK
+    result = benchmark.pedantic(
+        run_fig12b_horizontal, kwargs={"sweep": sweep}, iterations=1, rounds=1
+    )
+    emit(benchmark, result.render())
+    speedups = result.speedups()
+    assert all(1.0 < s < 4.0 for s in speedups)  # paper: 1.1x - 2.4x

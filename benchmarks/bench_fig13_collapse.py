@@ -1,0 +1,21 @@
+"""Figure 13 — fine-grained parallelization of the (p, m) loop."""
+
+from conftest import emit
+
+from repro.experiments import run_fig13_collapse
+from repro.experiments.common import full_scale_enabled
+from repro.experiments.fig13_collapse import PAPER_SWEEP_13
+
+_QUICK = {30002: (256, 1024, 4096), 60002: (2048, 8192)}
+
+
+def test_fig13_loop_collapse(benchmark):
+    sweep = PAPER_SWEEP_13 if full_scale_enabled() else _QUICK
+    result = benchmark.pedantic(
+        run_fig13_collapse, kwargs={"sweep": sweep}, iterations=1, rounds=1
+    )
+    emit(benchmark, result.render())
+    speedups = result.speedups()
+    assert all(1.0 <= s < 1.6 for s in speedups)  # paper: up to 1.34x
+    # Gains grow as per-rank work shrinks.
+    assert speedups[-1] >= speedups[0]

@@ -1,0 +1,25 @@
+"""Figure 14 — overall per-phase impact of all innovations."""
+
+from conftest import emit
+
+from repro.experiments import run_fig14_overall
+from repro.experiments.common import full_scale_enabled
+from repro.experiments.fig14_overall import DEFAULT_CASES
+
+_QUICK = (
+    ("RBD/64@HPC1", "rbd", "hpc1", 64),
+    ("Poly/2048@HPC2", "poly30002", "hpc2", 2048),
+)
+
+
+def test_fig14_overall_impacts(benchmark):
+    cases = DEFAULT_CASES if full_scale_enabled() else _QUICK
+    result = benchmark.pedantic(
+        run_fig14_overall, kwargs={"cases": cases}, iterations=1, rounds=1
+    )
+    emit(benchmark, result.render())
+    for case in result.cases:
+        assert case.overall_speedup > 1.5  # paper: up to 11.1x overall
+        # Comm is one of the biggest winners at scale.
+        if "Poly" in case.label:
+            assert case.phase_speedups()["Comm"] > 5.0

@@ -1,0 +1,38 @@
+"""Figure 15 — strong scaling and time-to-solution per cycle."""
+
+from conftest import emit
+
+from repro.experiments import run_fig15_strong, run_fig15b_time_per_cycle
+from repro.experiments.common import full_scale_enabled
+
+
+def test_fig15a_strong_scaling(benchmark):
+    if full_scale_enabled():
+        kwargs = {}  # paper grid: 60 002 atoms, up to 40 000 ranks
+    else:
+        kwargs = {
+            "n_atoms": 30002,
+            "ranks_hpc1": (2500, 5000, 10000),
+            "ranks_hpc2": (1024, 2048, 4096),
+        }
+    result = benchmark.pedantic(run_fig15_strong, kwargs=kwargs, iterations=1, rounds=1)
+    emit(benchmark, result.render())
+    for series in result.series:
+        sp = series.speedups()
+        assert all(b > a for a, b in zip(sp, sp[1:]))  # monotone speedup
+        assert 0.3 < series.efficiencies()[-1] <= 1.05
+
+
+def test_fig15b_time_per_cycle(benchmark):
+    cases = (
+        ((15002, 1024), (30002, 2048), (60002, 4096), (117602, 8192), (200012, 16384))
+        if full_scale_enabled()
+        else ((15002, 1024), (30002, 2048), (60002, 4096))
+    )
+    result = benchmark.pedantic(
+        run_fig15b_time_per_cycle, kwargs={"cases": cases}, iterations=1, rounds=1
+    )
+    emit(benchmark, result.render())
+    # The paper's headline: a CPSCF cycle completes within a minute.
+    for _, _, _, total in result.rows:
+        assert total < 60.0

@@ -1,0 +1,23 @@
+"""Figure 16 — weak scaling across the polyethylene family."""
+
+from conftest import emit
+
+from repro.experiments import run_fig16_weak
+from repro.experiments.common import full_scale_enabled
+from repro.experiments.fig16_weak import WEAK_CASES
+
+_QUICK = ((30002, 2500, 2048), (60002, 5000, 4096))
+
+
+def test_fig16_weak_scaling(benchmark):
+    cases = WEAK_CASES if full_scale_enabled() else _QUICK
+    result = benchmark.pedantic(
+        run_fig16_weak, kwargs={"cases": cases}, iterations=1, rounds=1
+    )
+    emit(benchmark, result.render())
+    for series in result.series:
+        eff = series.efficiencies()
+        # Efficiency declines with size (O(N^1.7) response potential)
+        # but stays in the paper's ballpark (74-77% at 200k atoms).
+        assert all(b <= a * 1.02 for a, b in zip(eff, eff[1:]))
+        assert eff[-1] > 0.4

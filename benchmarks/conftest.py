@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Each ``bench_fig*.py`` module regenerates one of the paper's evaluation
+figures: the benchmarked callable produces the figure's data series and
+the rendered table is printed (and attached to ``extra_info``) so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section end to end.
+
+Set ``REPRO_FULL_SCALE=1`` to sweep the paper's complete parameter grid
+(up to 200 012 atoms / 40 000 ranks); the default grid is a faithful
+subset that runs in a few minutes.
+"""
+
+from __future__ import annotations
+
+
+def emit(benchmark, table: str) -> None:
+    """Attach a rendered figure table to the benchmark and print it."""
+    benchmark.extra_info["figure"] = table
+    print()
+    print(table)

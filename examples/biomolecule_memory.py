@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Biomolecular memory study: why locality mapping enables large systems.
+
+Reproduces the Section 3.1 story on the RBD-like 3 006-atom protein:
+under the existing least-loaded mapping every rank replicates the global
+sparse Hamiltonian; under Algorithm 1 each rank holds a small dense
+local block.  Also writes/reads the geometry in FHI-aims format.
+
+    python examples/biomolecule_memory.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.atoms import hiv_ligand, rbd_like_protein, read_geometry_in, write_geometry_in
+from repro.config import get_settings
+from repro.core.workload import build_workload, synthetic_batches
+from repro.mapping import (
+    HamiltonianMemoryModel,
+    load_balancing_mapping,
+    locality_enhancing_mapping,
+    spline_counts_per_rank,
+)
+from repro.utils.reports import TableFormatter, format_bytes
+
+
+def main() -> None:
+    protein = rbd_like_protein()
+    ligand = hiv_ligand()
+    print(f"Systems: {protein} and {ligand}")
+
+    # Round-trip the protein through the artifact's geometry format.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "geometry.in"
+        write_geometry_in(protein, path)
+        back = read_geometry_in(path)
+        print(f"geometry.in round-trip: {back.n_atoms} atoms, "
+              f"{path.stat().st_size // 1024} KB on disk")
+
+    workload = build_workload(protein, get_settings("light"))
+    batches = synthetic_batches(workload)
+    print(f"\nGrid: {workload.n_grid_points:,} points in {len(batches):,} batches; "
+          f"{workload.n_basis:,} basis functions")
+
+    model = HamiltonianMemoryModel(protein)
+    csr = model.global_sparse_csr_bytes()
+    print(f"Global sparse Hamiltonian (CSR): {format_bytes(csr)} "
+          f"(replicated on every rank under the existing mapping)")
+
+    table = TableFormatter(
+        ["ranks", "existing (per rank)", "locality avg", "locality max",
+         "splines existing", "splines locality"],
+        title="\nPer-rank footprint: existing vs locality-enhancing mapping",
+    )
+    for ranks in (64, 128, 256, 512):
+        a_ex = load_balancing_mapping(batches, ranks)
+        a_lo = locality_enhancing_mapping(batches, ranks)
+        dense = model.dense_local_bytes(a_lo, batches)
+        sp_ex = spline_counts_per_rank(a_ex, batches, protein)
+        sp_lo = spline_counts_per_rank(a_lo, batches, protein)
+        table.add_row([
+            ranks,
+            format_bytes(csr),
+            format_bytes(float(dense.mean())),
+            format_bytes(float(dense.max())),
+            f"{sp_ex.mean():.0f}",
+            f"{sp_lo.mean():.0f}",
+        ])
+    print(table.render())
+    print("\nThe dense-local footprint shrinks with rank count while the "
+          "replicated CSR does not — the scaling obstacle of Fig. 3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Exascale scaling study on the H(C2H4)nH polyethylene family.
+
+Models the paper's strong/weak scaling (Figs. 15-16) for a chain of
+30 002 atoms on both machine presets, printing per-phase CPSCF-cycle
+times, parallel efficiencies and the communication scheme's share.
+
+    python examples/polyethylene_scaling.py
+"""
+
+from repro.atoms import polyethylene, polyethylene_units_for_atoms
+from repro.config import get_settings
+from repro.core import OptimizationFlags, PerturbationSimulator
+from repro.runtime import HPC1_SUNWAY, HPC2_AMD
+from repro.utils.reports import TableFormatter, format_bytes, format_seconds
+
+N_ATOMS = 30002
+
+
+def main() -> None:
+    chain = polyethylene(polyethylene_units_for_atoms(N_ATOMS))
+    print(f"System: {chain} ({chain.n_electrons:,} electrons)")
+    sim = PerturbationSimulator(chain, get_settings("light"))
+    print(f"Workload: {sim.workload.n_grid_points:,} grid points, "
+          f"{sim.workload.n_basis:,} basis functions, "
+          f"{len(sim.batches):,} batches")
+
+    for machine, ranks_list in (
+        (HPC1_SUNWAY, (2500, 5000, 10000)),
+        (HPC2_AMD, (1024, 2048, 4096, 8192)),
+    ):
+        table = TableFormatter(
+            ["ranks", "DM", "Sumup", "Rho", "H", "Comm", "cycle", "speedup",
+             "mem/rank"],
+            title=f"\nStrong scaling on {machine.name} (optimized)",
+        )
+        base = None
+        for ranks in ranks_list:
+            rep = sim.run_model(machine, ranks)
+            if base is None:
+                base = (ranks, rep.cycle_seconds)
+            speedup = base[1] / rep.cycle_seconds
+            table.add_row([
+                ranks,
+                *[format_seconds(rep.per_cycle_seconds[k])
+                  for k in ("DM", "Sumup", "Rho", "H", "Comm")],
+                format_seconds(rep.cycle_seconds),
+                f"{speedup:.2f}x",
+                format_bytes(rep.memory_per_rank_bytes),
+            ])
+        print(table.render())
+
+    # Before/after the paper's innovations at one representative scale.
+    print("\nImpact of the innovations (HPC#2, 2048 ranks):")
+    opt = sim.run_model(HPC2_AMD, 2048)
+    base = sim.run_model(HPC2_AMD, 2048, OptimizationFlags.none())
+    for phase in ("DM", "Sumup", "Rho", "H", "Comm"):
+        t0, t1 = base.per_cycle_seconds[phase], opt.per_cycle_seconds[phase]
+        print(f"  {phase:6s} {format_seconds(t0):>10s} -> {format_seconds(t1):>10s}"
+              f"   ({t0 / t1:5.1f}x)")
+    print(f"  TOTAL  {format_seconds(base.cycle_seconds):>10s} -> "
+          f"{format_seconds(opt.cycle_seconds):>10s}   "
+          f"({base.cycle_seconds / opt.cycle_seconds:5.1f}x)")
+    print(f"  memory/rank: {format_bytes(base.memory_per_rank_bytes)} -> "
+          f"{format_bytes(opt.memory_per_rank_bytes)}")
+
+
+if __name__ == "__main__":
+    main()

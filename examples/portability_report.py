@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Portability report: the Section 4 kernel optimizations on both devices.
+
+Exercises the executable OpenCL device model: vertical/horizontal fusion
+(with the 64 KB RMA gate), indirect-access elimination (with a real
+gather-map correctness check) and the (p, m) loop collapse (with the
+real index bijection).
+
+    python examples/portability_report.py
+"""
+
+import numpy as np
+
+from repro.ocl import (
+    Device,
+    Kernel,
+    NDRange,
+    apply_gather_map,
+    build_gather_map,
+    collapse_pm_loop,
+    eliminate_indirect_accesses,
+    horizontal_fusion,
+    vertical_fusion,
+)
+from repro.runtime import HPC1_SUNWAY, HPC2_AMD
+from repro.utils.reports import TableFormatter
+
+
+def main() -> None:
+    devices = {
+        "HPC#1 core group": Device(HPC1_SUNWAY.accelerator),
+        "HPC#2 MI50 GPU": Device(HPC2_AMD.accelerator),
+    }
+
+    # --- Kernel fusion with wide dependence (Section 4.2) -------------
+    producer = Kernel("spline_producer", flops_per_item=5e5,
+                      bytes_written_per_item=48)
+    consumer = Kernel("interp_consumer", flops_per_item=4e4,
+                      bytes_read_per_item=96)
+    p_range, c_range = NDRange(64, 49), NDRange(256, 200)
+
+    table = TableFormatter(
+        ["device", "mode", "intermediate", "applied", "speedup", "why"],
+        title="Fusing kernels with wide dependence",
+    )
+    for name, dev in devices.items():
+        for nbytes, label in ((28 * 1024, "28 KB"), (498 * 1024, "498 KB")):
+            v = vertical_fusion(dev, producer, p_range, consumer, c_range, nbytes)
+            table.add_row([name, "vertical", label, v.applied,
+                           f"{v.speedup:.2f}x", v.reason[:46]])
+        h = horizontal_fusion(dev, producer, p_range, consumer, c_range,
+                              498 * 1024, group_size=8)
+        table.add_row([name, "horizontal", "498 KB", h.applied,
+                       f"{h.speedup:.2f}x", h.reason[:46]])
+    print(table.render())
+
+    # --- Indirect-access elimination (Section 4.3) --------------------
+    rng = np.random.default_rng(0)
+    coord_center = rng.normal(size=(3006, 3))          # per local atom id
+    atom_list = rng.permutation(3006)                  # global -> local
+    permuted = build_gather_map(coord_center, atom_list)
+    i_center = rng.integers(0, 3006, size=10)
+    assert np.array_equal(
+        apply_gather_map(permuted, i_center), coord_center[atom_list[i_center]]
+    )
+    print("\nIndirect-access elimination "
+          "(coord_center[atom_list[i]] -> permuted[i]): verified exact")
+
+    init = Kernel("grid_partition_init", flops_per_item=8000,
+                  bytes_read_per_item=48, indirect_accesses_per_item=4)
+    direct = eliminate_indirect_accesses(init)
+    nd = NDRange(1024, 200)
+    for name, dev in devices.items():
+        t0 = dev.estimate(init, nd).total_time
+        t1 = dev.estimate(direct, nd).total_time
+        print(f"  {name}: init phase {t0 * 1e3:.2f} ms -> {t1 * 1e3:.2f} ms "
+              f"({t0 / t1:.1f}x)")
+
+    # --- Fine-grained parallelization (Section 4.4) -------------------
+    table2 = collapse_pm_loop(9)
+    print(f"\nLoop collapse: (p, m) nest with p_max=9 exposes "
+          f"{len(table2)} parallel iterations instead of 10")
+    print(f"  first entries: {[tuple(r) for r in table2[:5]]}")
+
+
+if __name__ == "__main__":
+    main()

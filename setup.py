@@ -1,0 +1,6 @@
+"""Setuptools shim: enables legacy editable installs in offline
+environments that lack the `wheel` package (PEP 660 builds need it)."""
+
+from setuptools import setup
+
+setup()

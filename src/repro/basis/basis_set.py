@@ -1,0 +1,246 @@
+"""Structure-wide NAO basis: construction, indexing and grid evaluation.
+
+A :class:`BasisSet` flattens the per-atom shells of Eq. (4) into a single
+index ``mu`` and evaluates ``chi_mu`` (and gradients) at arbitrary point
+batches with cutoff screening — the primitive underneath every grid
+integral in the DFT/DFPT pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.basis.radial import LogRadialGrid
+from repro.basis.sets import RadialShell, light_shells, radial_function
+from repro.basis.solid_harmonics import solid_harmonics, solid_harmonics_with_gradients
+from repro.basis.spline import CubicSpline
+from repro.errors import BasisError
+
+#: Knots for tabulating species radial functions.
+_RADIAL_KNOTS: int = 320
+
+
+@dataclass(frozen=True)
+class BasisFunction:
+    """One atom-centered orbital chi_mu = g_l(|r-R|) S_lm(r-R)."""
+
+    index: int
+    atom: int
+    l: int
+    m: int
+    shell_label: str
+    cutoff: float
+
+
+@dataclass(frozen=True)
+class _ShellInstance:
+    """A species shell planted on a specific atom."""
+
+    atom: int
+    center: np.ndarray
+    shell: RadialShell
+    g_spline: CubicSpline
+    cutoff: float
+    first_index: int
+
+
+class BasisSet:
+    """All NAO basis functions of one structure.
+
+    Built via :func:`build_basis`; evaluation methods are vectorized over
+    points and screened by each shell's effective cutoff radius.
+    """
+
+    def __init__(self, structure: Structure, shells: List[_ShellInstance]) -> None:
+        self.structure = structure
+        self._shells = shells
+        self.functions: List[BasisFunction] = []
+        offsets = np.zeros(structure.n_atoms + 1, dtype=np.int64)
+        for inst in shells:
+            l = inst.shell.l
+            for m in range(-l, l + 1):
+                self.functions.append(
+                    BasisFunction(
+                        index=len(self.functions),
+                        atom=inst.atom,
+                        l=l,
+                        m=m,
+                        shell_label=inst.shell.label,
+                        cutoff=inst.cutoff,
+                    )
+                )
+            offsets[inst.atom + 1] += inst.shell.n_functions
+        self.atom_offsets = np.cumsum(offsets)
+        self.n_basis = len(self.functions)
+        self.function_atoms = np.array([f.atom for f in self.functions], dtype=np.int64)
+        # Per-atom reach of the farthest basis function (for sparsity).
+        self.atom_cutoffs = np.zeros(structure.n_atoms)
+        for inst in shells:
+            self.atom_cutoffs[inst.atom] = max(self.atom_cutoffs[inst.atom], inst.cutoff)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def functions_of_atom(self, atom: int) -> range:
+        """Flat indices of the basis functions centred on *atom*."""
+        return range(int(self.atom_offsets[atom]), int(self.atom_offsets[atom + 1]))
+
+    def n_functions_of_atoms(self, atoms: Sequence[int]) -> int:
+        """Total basis size of an atom subset."""
+        return int(
+            sum(self.atom_offsets[a + 1] - self.atom_offsets[a] for a in atoms)
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, points: np.ndarray, atoms: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Values chi_mu(r) at *points*, ``(n_points, n_basis)``.
+
+        If *atoms* is given, only functions on those atoms are evaluated
+        (other columns stay zero) — the screened path used by batch-local
+        integration.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        values = np.zeros((points.shape[0], self.n_basis))
+        atom_filter = None if atoms is None else set(int(a) for a in atoms)
+        for inst in self._shells:
+            if atom_filter is not None and inst.atom not in atom_filter:
+                continue
+            d = points - inst.center
+            r = np.linalg.norm(d, axis=1)
+            mask = r <= inst.cutoff
+            if not np.any(mask):
+                continue
+            g = inst.g_spline(r[mask])
+            l = inst.shell.l
+            s_all = solid_harmonics(d[mask], l)
+            s = s_all[:, l * l : (l + 1) ** 2]
+            cols = slice(inst.first_index, inst.first_index + inst.shell.n_functions)
+            values[np.nonzero(mask)[0], cols] = g[:, None] * s
+        return values
+
+    def evaluate_with_gradients(
+        self, points: np.ndarray, atoms: Optional[Sequence[int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Values and gradients: ``(n_points, n_basis)``, ``(n_points, n_basis, 3)``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        n_pts = points.shape[0]
+        values = np.zeros((n_pts, self.n_basis))
+        grads = np.zeros((n_pts, self.n_basis, 3))
+        atom_filter = None if atoms is None else set(int(a) for a in atoms)
+        for inst in self._shells:
+            if atom_filter is not None and inst.atom not in atom_filter:
+                continue
+            d = points - inst.center
+            r = np.linalg.norm(d, axis=1)
+            mask = r <= inst.cutoff
+            if not np.any(mask):
+                continue
+            rm = r[mask]
+            dm = d[mask]
+            g = inst.g_spline(rm)
+            dg = inst.g_spline.derivative(rm)
+            l = inst.shell.l
+            s_all, grad_all = solid_harmonics_with_gradients(dm, l)
+            s = s_all[:, l * l : (l + 1) ** 2]
+            grad_s = grad_all[:, l * l : (l + 1) ** 2, :]
+            # Unit radial direction; safe at the nucleus because dg -> 0
+            # there for the splined smooth g_l.
+            safe_r = np.maximum(rm, 1e-12)
+            rhat = dm / safe_r[:, None]
+            rows = np.nonzero(mask)[0]
+            cols = slice(inst.first_index, inst.first_index + inst.shell.n_functions)
+            values[rows, cols] = g[:, None] * s
+            grads[rows, cols, :] = (
+                (dg[:, None] * s)[:, :, None] * rhat[:, None, :]
+                + g[:, None, None] * grad_s
+            )
+        return values, grads
+
+    def interaction_pairs(self) -> List[Tuple[int, int]]:
+        """Atom pairs (i <= j) whose basis functions overlap somewhere.
+
+        Two atoms interact when their cutoff spheres intersect; this is
+        the sparsity pattern of H and S at the atom-block level.
+        """
+        coords = self.structure.coords
+        cut = self.atom_cutoffs
+        pairs: List[Tuple[int, int]] = []
+        # Cell list with the maximum possible interaction range.
+        reach = 2.0 * float(cut.max())
+        cell = max(reach, 1e-6)
+        keys = np.floor(coords / cell).astype(np.int64)
+        buckets: Dict[Tuple[int, int, int], List[int]] = {}
+        for idx, key in enumerate(map(tuple, keys)):
+            buckets.setdefault(key, []).append(idx)
+        offsets = [
+            (dx, dy, dz)
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            for dz in (-1, 0, 1)
+        ]
+        for i in range(self.structure.n_atoms):
+            kx, ky, kz = keys[i]
+            for off in offsets:
+                for j in buckets.get((kx + off[0], ky + off[1], kz + off[2]), ()):
+                    if j < i:
+                        continue
+                    dist = float(np.linalg.norm(coords[i] - coords[j]))
+                    if dist <= cut[i] + cut[j]:
+                        pairs.append((i, j))
+        return pairs
+
+
+# Species-level cache: the radial tables depend only on the element.
+_SPECIES_CACHE: Dict[str, List[Tuple[RadialShell, CubicSpline, float]]] = {}
+
+
+def _species_shells(symbol: str, z: int) -> List[Tuple[RadialShell, CubicSpline, float]]:
+    if symbol not in _SPECIES_CACHE:
+        grid = LogRadialGrid.for_species(z, _RADIAL_KNOTS, r_max=12.0)
+        entries = []
+        for shell in light_shells(symbol):
+            spline, cutoff = radial_function(shell, grid)
+            entries.append((shell, spline, cutoff))
+        _SPECIES_CACHE[symbol] = entries
+    return _SPECIES_CACHE[symbol]
+
+
+def build_basis(structure: Structure, level: str = "light") -> BasisSet:
+    """Construct the NAO basis for a structure.
+
+    Currently only the ``"light"`` level exists; the count per element is
+    cross-checked against :attr:`Element.n_basis_light`.
+    """
+    if level != "light":
+        raise BasisError(f"only the 'light' basis level is implemented, got {level!r}")
+    shells: List[_ShellInstance] = []
+    next_index = 0
+    for atom, (sym, elem) in enumerate(zip(structure.symbols, structure.elements)):
+        count = 0
+        for shell, spline, cutoff in _species_shells(sym, elem.z):
+            shells.append(
+                _ShellInstance(
+                    atom=atom,
+                    center=structure.coords[atom],
+                    shell=shell,
+                    g_spline=spline,
+                    cutoff=cutoff,
+                    first_index=next_index,
+                )
+            )
+            next_index += shell.n_functions
+            count += shell.n_functions
+        if count != elem.n_basis_light:
+            raise BasisError(
+                f"basis count mismatch for {sym}: built {count}, "
+                f"element table says {elem.n_basis_light}"
+            )
+    return BasisSet(structure, shells)

@@ -1,0 +1,145 @@
+"""Per-element "light" NAO shell definitions and radial-function builder.
+
+Radial parts are Slater-type functions ``R_nl(r) = N r^(n-1) e^(-zeta r)``
+with Slater-rule effective exponents, multiplied by a smooth confinement
+window (the NAO trademark: strictly compact support, which is what makes
+the Hamiltonian sparse and the locality mapping meaningful), tabulated on
+the species' logarithmic mesh and splined.
+
+The shell lists must stay consistent with
+:attr:`repro.atoms.element.Element.n_basis_light`; a unit test enforces it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.basis.radial import LogRadialGrid
+from repro.basis.spline import CubicSpline
+from repro.errors import BasisError
+
+
+@dataclass(frozen=True)
+class RadialShell:
+    """One (n, l) shell with a Slater-type exponent."""
+
+    n: int
+    l: int
+    zeta: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.l >= self.n:
+            raise BasisError(f"shell {self.label}: need l < n, got l={self.l}, n={self.n}")
+        if self.zeta <= 0.0:
+            raise BasisError(f"shell {self.label}: exponent must be positive")
+
+    @property
+    def n_functions(self) -> int:
+        """Number of m-channels: 2l + 1."""
+        return 2 * self.l + 1
+
+
+#: "Light" shells per element.  Minimal occupied set plus one diffuse s
+#: and one d polarization shell (plus valence p for S), sized to match
+#: Element.n_basis_light.
+_LIGHT_SHELLS: Dict[str, List[RadialShell]] = {
+    "H": [
+        RadialShell(1, 0, 1.00, "H 1s"),
+        RadialShell(2, 0, 0.65, "H 2s"),
+        RadialShell(2, 1, 0.80, "H 2p"),
+    ],
+    "C": [
+        RadialShell(1, 0, 5.70, "C 1s"),
+        RadialShell(2, 0, 1.625, "C 2s"),
+        RadialShell(2, 1, 1.625, "C 2p"),
+        RadialShell(3, 0, 0.90, "C 3s"),
+        RadialShell(3, 2, 1.80, "C 3d"),
+    ],
+    "N": [
+        RadialShell(1, 0, 6.70, "N 1s"),
+        RadialShell(2, 0, 1.95, "N 2s"),
+        RadialShell(2, 1, 1.95, "N 2p"),
+        RadialShell(3, 0, 1.05, "N 3s"),
+        RadialShell(3, 2, 2.10, "N 3d"),
+    ],
+    "O": [
+        RadialShell(1, 0, 7.70, "O 1s"),
+        RadialShell(2, 0, 2.275, "O 2s"),
+        RadialShell(2, 1, 2.275, "O 2p"),
+        RadialShell(3, 0, 1.20, "O 3s"),
+        RadialShell(3, 2, 2.40, "O 3d"),
+    ],
+    "S": [
+        RadialShell(1, 0, 15.70, "S 1s"),
+        RadialShell(2, 0, 5.925, "S 2s"),
+        RadialShell(2, 1, 5.925, "S 2p"),
+        RadialShell(3, 0, 1.817, "S 3s"),
+        RadialShell(3, 1, 1.817, "S 3p"),
+        RadialShell(4, 0, 0.90, "S 4s"),
+        RadialShell(3, 2, 1.40, "S 3d"),
+    ],
+}
+
+#: Confinement window (Bohr): full strength inside ONSET, zero at CUT.
+CONFINE_ONSET: float = 7.0
+CONFINE_CUT: float = 9.0
+
+
+def light_shells(symbol: str) -> List[RadialShell]:
+    """Shell list for one element's light basis."""
+    try:
+        return list(_LIGHT_SHELLS[symbol])
+    except KeyError:
+        raise BasisError(f"no light basis defined for element {symbol!r}") from None
+
+
+def confinement_window(r: np.ndarray) -> np.ndarray:
+    """Smooth cos^2 cutoff: 1 below ONSET, 0 beyond CUT."""
+    r = np.asarray(r, dtype=float)
+    t = np.clip((r - CONFINE_ONSET) / (CONFINE_CUT - CONFINE_ONSET), 0.0, 1.0)
+    return np.cos(0.5 * np.pi * t) ** 2
+
+
+def radial_function(
+    shell: RadialShell, grid: LogRadialGrid
+) -> Tuple[CubicSpline, float]:
+    """Tabulated, confined, normalized g_l(r) = R_nl(r) / r^l.
+
+    Returns ``(spline_of_g_l, effective_cutoff_radius)``.  The spline is
+    over the species' logarithmic mesh extended by a final zero knot at
+    CONFINE_CUT so evaluation clamps to exactly zero outside; the
+    effective cutoff is the radius beyond which the confined function's
+    normalized magnitude stays below 1e-8 (used for neighbour screening).
+    """
+    r = grid.r
+    # R(r) = r^(n-1) e^(-zeta r) * window; g_l = R / r^l = r^(n-1-l) e^..
+    power = shell.n - 1 - shell.l
+    g = r**power * np.exp(-shell.zeta * r) * confinement_window(r)
+    radial = g * r**shell.l  # full R(r) for normalization
+
+    norm2 = grid.integrate(radial**2 * r**2)
+    if norm2 <= 0.0:
+        raise BasisError(f"shell {shell.label}: zero norm on radial grid")
+    g = g / math.sqrt(norm2)
+    radial = radial / math.sqrt(norm2)
+
+    # Effective cutoff for screening: last radius with |R| above threshold.
+    significant = np.nonzero(np.abs(radial) * r > 1e-8)[0]
+    cutoff = float(r[significant[-1]]) if significant.size else float(r[0])
+    cutoff = min(cutoff, CONFINE_CUT)
+
+    # Append an exact-zero knot at CONFINE_CUT if the mesh ends before it,
+    # so clamped evaluation beyond the mesh returns ~0, and force the
+    # tabulated tail to zero beyond the window.
+    x = r
+    y = g.copy()
+    y[r >= CONFINE_CUT] = 0.0
+    if x[-1] < CONFINE_CUT:
+        x = np.append(x, CONFINE_CUT)
+        y = np.append(y, 0.0)
+    return CubicSpline(x, y), cutoff

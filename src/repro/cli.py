@@ -1,0 +1,142 @@
+"""Command-line interface.
+
+Mirrors the artifact's workflow (geometry file in, timings and physical
+results out):
+
+    python -m repro physics geometry.in --level minimal
+    python -m repro model geometry.in --machine hpc2 --ranks 2048
+    python -m repro model --polyethylene 30002 --machine hpc1 --ranks 4096 --baseline
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.atoms import polyethylene_units_for_atoms
+from repro.atoms.builders import polyethylene
+from repro.atoms.io import read_geometry_in
+from repro.config import get_settings
+from repro.core import OptimizationFlags, PerturbationSimulator
+from repro.dfpt.polarizability import isotropic_polarizability
+from repro.runtime import HPC1_SUNWAY, HPC2_AMD, machine_by_name
+from repro.utils.reports import format_bytes, format_seconds
+
+
+def _load_structure(args: argparse.Namespace):
+    if getattr(args, "polyethylene", None):
+        return polyethylene(polyethylene_units_for_atoms(args.polyethylene))
+    if not args.geometry:
+        raise SystemExit("provide a geometry.in path or --polyethylene N_ATOMS")
+    return read_geometry_in(args.geometry)
+
+
+def _cmd_physics(args: argparse.Namespace) -> int:
+    structure = _load_structure(args)
+    settings = get_settings(args.level)
+    print(f"Running all-electron DFPT on {structure} (level={args.level})")
+    sim = PerturbationSimulator(structure, settings, charge=args.charge)
+    result = sim.run_physics()
+    gs = result.ground_state
+    print(f"SCF converged in {gs.iterations} iterations: "
+          f"E = {gs.total_energy:.6f} Ha")
+    print(f"dipole: {np.array2string(gs.dipole_moment(), precision=4)} e*Bohr")
+    print("polarizability (a.u.):")
+    for row in result.polarizability:
+        print("  " + "  ".join(f"{v:10.4f}" for v in row))
+    print(f"isotropic alpha: {isotropic_polarizability(result.polarizability):.4f} a.u.")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    structure = _load_structure(args)
+    settings = get_settings(args.level)
+    machine = machine_by_name(args.machine)
+    flags = OptimizationFlags.none() if args.baseline else OptimizationFlags.all()
+    sim = PerturbationSimulator(structure, settings)
+    rep = sim.run_model(
+        machine, args.ranks, flags, use_accelerator=not args.cpu_only
+    )
+    label = "baseline" if args.baseline else "optimized"
+    print(f"{structure.name}: {rep.n_atoms:,} atoms, {rep.n_basis:,} basis functions")
+    print(f"{machine.name}, {args.ranks:,} ranks ({label}"
+          f"{', CPU only' if args.cpu_only else ''})")
+    for phase, seconds in rep.per_cycle_seconds.items():
+        print(f"  {phase:6s} {format_seconds(seconds):>12s}")
+    print(f"  cycle  {format_seconds(rep.cycle_seconds):>12s}")
+    print(f"  init   {format_seconds(rep.init_seconds):>12s} (once)")
+    print(f"memory/rank: {format_bytes(rep.memory_per_rank_bytes)}"
+          f"  splines/rank: {rep.splines_per_rank}"
+          f"  points/rank: {rep.points_per_rank:,}")
+    if rep.memory_per_rank_bytes > machine.per_proc_memory:
+        print("WARNING: per-rank Hamiltonian exceeds the machine's memory "
+              f"({format_bytes(machine.per_proc_memory)}) — this "
+              "configuration would fail on the real system")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    for machine in (HPC1_SUNWAY, HPC2_AMD):
+        acc = machine.accelerator
+        print(machine.name)
+        print(f"  ranks/node: {machine.procs_per_node}, "
+              f"ranks/accelerator: {machine.ranks_per_accelerator}, "
+              f"SHM windows: {machine.shm_windows}")
+        print(f"  accelerator: {acc.name} — {acc.compute_units} CUs x "
+              f"{acc.lanes_per_unit} lanes, RMA window "
+              f"{format_bytes(acc.rma_max_bytes) if acc.rma_max_bytes else 'none'}, "
+              f"persistent buffers: {acc.persistent_buffers}")
+        print(f"  memory/rank: {format_bytes(machine.per_proc_memory)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="All-electron quantum perturbation simulations (SC'23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, physics: bool) -> None:
+        p.add_argument("geometry", nargs="?", help="FHI-aims geometry.in file")
+        p.add_argument(
+            "--polyethylene",
+            type=int,
+            metavar="N_ATOMS",
+            help="use an H(C2H4)nH chain with this many atoms (6n+2)",
+        )
+        p.add_argument("--level", default="minimal" if physics else "light",
+                       choices=["minimal", "light", "tight"])
+
+    p_phys = sub.add_parser("physics", help="run the real SCF + CPSCF pipeline")
+    add_common(p_phys, physics=True)
+    p_phys.add_argument("--charge", type=int, default=0)
+    p_phys.set_defaults(func=_cmd_physics)
+
+    p_model = sub.add_parser("model", help="price a configuration at scale")
+    add_common(p_model, physics=False)
+    p_model.add_argument("--machine", default="hpc2", choices=["hpc1", "hpc2"])
+    p_model.add_argument("--ranks", type=int, default=1024)
+    p_model.add_argument("--baseline", action="store_true",
+                         help="disable all of the paper's innovations")
+    p_model.add_argument("--cpu-only", action="store_true",
+                         help="HPC#2 without its GPUs (Figs. 15-16 variant)")
+    p_model.set_defaults(func=_cmd_model)
+
+    p_info = sub.add_parser("info", help="show the machine presets")
+    p_info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Run-settings presets mirroring FHI-aims' ``light``/``tight`` levels.
+
+The paper runs "light settings and the LDA functional"; these dataclasses
+bundle the numerical knobs (grid sizes, basis size, SCF/CPSCF tolerances)
+so that examples, tests and benchmarks share one definition of "light".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class GridSettings:
+    """Integration-grid resolution for one run."""
+
+    #: Number of radial shells for the *lightest* element (H); heavier
+    #: elements scale this up with sqrt(Z) as in Baker-style grids.
+    n_radial_base: int = 24
+    #: Angular quadrature points per shell (must be a supported rule size).
+    n_angular: int = 50
+    #: Multiplicative scaling of the outermost shell radius (Bohr).
+    radial_multiplier: float = 1.0
+    #: Target number of grid points per batch (paper: 100-300).
+    batch_target_points: int = 200
+    #: Becke partition-function stiffness (number of smoothing passes).
+    becke_smoothing: int = 3
+
+
+@dataclass(frozen=True)
+class SCFSettings:
+    """Ground-state self-consistency controls."""
+
+    max_iterations: int = 60
+    density_tolerance: float = 1e-6
+    energy_tolerance: float = 1e-8
+    mixing_factor: float = 0.35
+    pulay_history: int = 6
+    occupation_width: float = 0.0  # Hartree; 0 => integer occupations
+
+
+@dataclass(frozen=True)
+class CPSCFSettings:
+    """Coupled-perturbed SCF (DFPT) self-consistency controls."""
+
+    max_iterations: int = 40
+    response_tolerance: float = 1e-6
+    mixing_factor: float = 0.5
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Everything a simulation needs besides the structure itself."""
+
+    level: str = "light"
+    grids: GridSettings = field(default_factory=GridSettings)
+    scf: SCFSettings = field(default_factory=SCFSettings)
+    cpscf: CPSCFSettings = field(default_factory=CPSCFSettings)
+    #: Maximum multipole angular momentum for the Hartree solver.
+    l_max_hartree: int = 6
+    #: Exchange-correlation functional identifier (only LDA implemented).
+    xc: str = "lda"
+
+    def with_grids(self, **kwargs) -> "RunSettings":
+        """Return a copy with modified grid settings."""
+        return replace(self, grids=replace(self.grids, **kwargs))
+
+    def with_scf(self, **kwargs) -> "RunSettings":
+        """Return a copy with modified SCF settings."""
+        return replace(self, scf=replace(self.scf, **kwargs))
+
+    def with_cpscf(self, **kwargs) -> "RunSettings":
+        """Return a copy with modified CPSCF settings."""
+        return replace(self, cpscf=replace(self.cpscf, **kwargs))
+
+
+_PRESETS: Dict[str, RunSettings] = {
+    # Test-grade: small but still numerically meaningful grids.
+    "minimal": RunSettings(
+        level="minimal",
+        grids=GridSettings(n_radial_base=16, n_angular=26, batch_target_points=64),
+        l_max_hartree=4,
+    ),
+    # The paper's production level for its physics runs.
+    "light": RunSettings(level="light"),
+    # Heavier grids for convergence studies.
+    "tight": RunSettings(
+        level="tight",
+        grids=GridSettings(n_radial_base=36, n_angular=110, batch_target_points=200),
+        l_max_hartree=8,
+    ),
+}
+
+
+def get_settings(level: str = "light", **overrides) -> RunSettings:
+    """Look up a named preset, optionally overriding top-level fields.
+
+    Parameters
+    ----------
+    level:
+        One of ``"minimal"``, ``"light"``, ``"tight"``.
+    overrides:
+        Keyword overrides applied on top of the preset
+        (e.g. ``l_max_hartree=4``).
+    """
+    try:
+        preset = _PRESETS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown settings level {level!r}; expected one of {sorted(_PRESETS)}"
+        ) from None
+    return replace(preset, **overrides) if overrides else preset

@@ -1,0 +1,50 @@
+"""Optimization toggles — the paper's innovations, individually switchable.
+
+``OptimizationFlags.none()`` reproduces the baseline OpenCL
+implementation the paper measures speedups against;
+``OptimizationFlags.all()`` is the fully optimized code.  Ablation
+benches flip one flag at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Which of the paper's innovations are active."""
+
+    #: Section 3.1 — locality-enhancing task mapping (vs least-loaded).
+    locality_mapping: bool = True
+    #: Section 3.2.1 — pack row-wise collectives (30 MB heuristic).
+    packed_comm: bool = True
+    #: Section 3.2.2 — intra-node SHM + leader collective (needs SHM).
+    hierarchical_comm: bool = True
+    #: Section 4.2 — fuse widely-dependent kernels (vertical/horizontal).
+    kernel_fusion: bool = True
+    #: Section 4.3 — eliminate A[B[i]] patterns via gather maps.
+    indirect_elimination: bool = True
+    #: Section 4.4 — collapse the (p, m) loop for fine-grained parallelism.
+    loop_collapse: bool = True
+
+    @staticmethod
+    def all() -> "OptimizationFlags":
+        """Everything on (the paper's optimized configuration)."""
+        return OptimizationFlags()
+
+    @staticmethod
+    def none() -> "OptimizationFlags":
+        """Everything off (the baseline configuration)."""
+        return OptimizationFlags(
+            locality_mapping=False,
+            packed_comm=False,
+            hierarchical_comm=False,
+            kernel_fusion=False,
+            indirect_elimination=False,
+            loop_collapse=False,
+        )
+
+    def but(self, **kwargs) -> "OptimizationFlags":
+        """Copy with selected flags changed (ablation helper)."""
+        return replace(self, **kwargs)

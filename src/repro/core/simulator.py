@@ -1,0 +1,193 @@
+"""The top-level :class:`PerturbationSimulator` API.
+
+One object, two modes:
+
+* ``run_physics()`` — real all-electron DFPT on the given molecule
+  (small systems): returns ground state, polarizability tensor and
+  measured per-phase wall times.
+* ``run_model(machine, n_ranks, flags)`` — the exascale path: builds
+  the workload summary, maps batches under the selected strategy and
+  prices every phase with the device/communication models; used by all
+  scale figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.config import RunSettings, get_settings
+from repro.core.flags import OptimizationFlags
+from repro.core.phasemodel import PhaseBreakdown, PhaseCalibration, PhaseModel
+from repro.core.workload import Workload, build_workload, synthetic_batches
+from repro.dfpt.polarizability import polarizability_tensor
+from repro.dfpt.response import DFPTSolver
+from repro.dft.scf import GroundState, SCFDriver
+from repro.errors import ExperimentError
+from repro.grids.batching import GridBatch
+from repro.mapping.strategies import (
+    BatchAssignment,
+    load_balancing_mapping,
+    locality_enhancing_mapping,
+)
+from repro.runtime.machines import MachineSpec
+from repro.utils.timing import PhaseTimer
+
+#: Number of CPSCF cycles a typical production run needs (used to turn
+#: per-cycle model times into run totals; the paper reports per-cycle).
+TYPICAL_CPSCF_CYCLES = 12
+
+
+@dataclass
+class PhysicsResult:
+    """Outcome of a real (laptop-scale) DFPT run."""
+
+    ground_state: GroundState
+    polarizability: np.ndarray
+    phase_seconds: Dict[str, float]
+    cpscf_iterations_per_direction: List[int] = field(default_factory=list)
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one modeled configuration (machine, ranks, flags)."""
+
+    machine: str
+    n_ranks: int
+    flags: OptimizationFlags
+    n_atoms: int
+    n_basis: int
+    per_cycle_seconds: Dict[str, float]
+    init_seconds: float
+    memory_per_rank_bytes: int
+    splines_per_rank: int
+    points_per_rank: int
+    comm_detail: Dict[str, float]
+
+    @property
+    def cycle_seconds(self) -> float:
+        return sum(self.per_cycle_seconds.values())
+
+    @property
+    def feasible(self) -> bool:
+        """Does the per-rank Hamiltonian fit the machine's memory?"""
+        return self.memory_per_rank_bytes >= 0  # refined by caller w/ machine
+
+
+class PerturbationSimulator:
+    """Bind a structure + settings; run physics or scale models."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        settings: Optional[RunSettings] = None,
+        charge: int = 0,
+    ) -> None:
+        self.structure = structure
+        self.settings = settings or get_settings("light")
+        self.charge = charge
+        self._workload: Optional[Workload] = None
+        self._batches: Optional[List[GridBatch]] = None
+        self._assignments: Dict[tuple, BatchAssignment] = {}
+        self._memory_model = None
+
+    # ------------------------------------------------------------------
+    # Real physics (small systems)
+    # ------------------------------------------------------------------
+    def run_physics(self) -> PhysicsResult:
+        """Ground-state SCF + CPSCF for all three directions.
+
+        Intended for molecules up to a few tens of atoms; the grid and
+        basis grow quadratically beyond that.
+        """
+        timer = PhaseTimer()
+        driver = SCFDriver(
+            self.structure, self.settings, charge=self.charge, timer=timer
+        )
+        gs = driver.run()
+        solver = DFPTSolver(gs, self.settings.cpscf, timer=timer)
+        alpha = np.empty((3, 3))
+        iterations = []
+        for j in range(3):
+            result = solver.solve_direction(j)
+            alpha[:, j] = result.polarizability_column(gs.dipoles)
+            iterations.append(result.iterations)
+        return PhysicsResult(
+            ground_state=gs,
+            polarizability=alpha,
+            phase_seconds=timer.as_dict(),
+            cpscf_iterations_per_direction=iterations,
+        )
+
+    # ------------------------------------------------------------------
+    # Scale modeling
+    # ------------------------------------------------------------------
+    @property
+    def workload(self) -> Workload:
+        if self._workload is None:
+            self._workload = build_workload(self.structure, self.settings)
+        return self._workload
+
+    @property
+    def batches(self) -> List[GridBatch]:
+        """Summary batches shared by every modeled configuration."""
+        if self._batches is None:
+            self._batches = synthetic_batches(self.workload)
+        return self._batches
+
+    def assignment(self, n_ranks: int, locality: bool) -> BatchAssignment:
+        """Cached batch->rank mapping for one (ranks, strategy) pair."""
+        key = (n_ranks, locality)
+        if key not in self._assignments:
+            fn = locality_enhancing_mapping if locality else load_balancing_mapping
+            self._assignments[key] = fn(self.batches, n_ranks)
+        return self._assignments[key]
+
+    def run_model(
+        self,
+        machine: MachineSpec,
+        n_ranks: int,
+        flags: Optional[OptimizationFlags] = None,
+        calibration: Optional[PhaseCalibration] = None,
+        use_accelerator: bool = True,
+    ) -> SimulationReport:
+        """Price one configuration at scale."""
+        flags = flags or OptimizationFlags.all()
+        if len(self.batches) < n_ranks:
+            raise ExperimentError(
+                f"{len(self.batches)} batches cannot feed {n_ranks} ranks; "
+                "reduce ranks or grid batch size"
+            )
+        assignment = self.assignment(n_ranks, flags.locality_mapping)
+        if self._memory_model is None:
+            from repro.mapping.memory_model import HamiltonianMemoryModel
+
+            self._memory_model = HamiltonianMemoryModel(self.structure)
+        model = PhaseModel(
+            workload=self.workload,
+            machine=machine,
+            n_ranks=n_ranks,
+            flags=flags,
+            batches=self.batches,
+            assignment=assignment,
+            calibration=calibration,
+            use_accelerator=use_accelerator,
+            memory_model=self._memory_model,
+        )
+        bd: PhaseBreakdown = model.breakdown()
+        return SimulationReport(
+            machine=machine.name,
+            n_ranks=n_ranks,
+            flags=flags,
+            n_atoms=self.workload.n_atoms,
+            n_basis=self.workload.n_basis,
+            per_cycle_seconds=bd.per_cycle,
+            init_seconds=bd.init,
+            memory_per_rank_bytes=model.memory_per_rank,
+            splines_per_rank=model.splines_per_rank,
+            points_per_rank=model.points_per_rank,
+            comm_detail=bd.comm_detail,
+        )

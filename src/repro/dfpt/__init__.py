@@ -1,0 +1,27 @@
+"""Density-functional perturbation theory for homogeneous electric fields.
+
+The paper's primary physics: the self-consistent response cycle of
+Fig. 1 — response density matrix (Eq. 7), response density (Eq. 8),
+response Hartree potential (Eq. 9), response Hamiltonian (Eqs. 10-12) —
+iterated to convergence, yielding polarizabilities (Eq. 13).
+"""
+
+from repro.dfpt.response import DFPTSolver, ResponseResult
+from repro.dfpt.polarizability import polarizability_tensor, isotropic_polarizability
+from repro.dfpt.finite_difference import finite_difference_polarizability
+from repro.dfpt.dielectric import (
+    clausius_mossotti_dielectric,
+    refractive_index,
+    polarizability_anisotropy,
+)
+
+__all__ = [
+    "DFPTSolver",
+    "ResponseResult",
+    "polarizability_tensor",
+    "isotropic_polarizability",
+    "finite_difference_polarizability",
+    "clausius_mossotti_dielectric",
+    "refractive_index",
+    "polarizability_anisotropy",
+]

@@ -1,0 +1,73 @@
+"""Dielectric properties from polarizabilities.
+
+The last step of the paper's pipeline (Section 2.1: "the polarizability
+and dielectric constants are computed").  For molecular materials the
+macroscopic dielectric constant follows from the molecular
+polarizability via the Clausius-Mossotti relation
+
+    (eps - 1) / (eps + 2) = (4 pi / 3) * alpha_iso / v_mol ,
+
+with ``v_mol`` the volume per molecule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dfpt.polarizability import isotropic_polarizability
+
+
+def clausius_mossotti_dielectric(alpha: np.ndarray, molecular_volume: float) -> float:
+    """Dielectric constant of a molecular material.
+
+    Parameters
+    ----------
+    alpha:
+        3x3 polarizability tensor in atomic units (Bohr^3).
+    molecular_volume:
+        Volume per molecule in Bohr^3.
+
+    Returns
+    -------
+    The static dielectric constant eps > 1.
+
+    Raises
+    ------
+    ValueError
+        If the packing exceeds the Clausius-Mossotti pole
+        (``4 pi alpha / 3 v >= 1``), where the relation diverges —
+        a polarization catastrophe rather than a physical answer.
+    """
+    if molecular_volume <= 0.0:
+        raise ValueError(f"molecular volume must be positive, got {molecular_volume}")
+    iso = isotropic_polarizability(alpha)
+    if iso <= 0.0:
+        raise ValueError(f"polarizability must be positive, got {iso}")
+    x = 4.0 * np.pi * iso / (3.0 * molecular_volume)
+    if x >= 1.0:
+        raise ValueError(
+            f"Clausius-Mossotti pole reached (4 pi alpha / 3V = {x:.3f} >= 1); "
+            "reduce density or check the polarizability"
+        )
+    return float((1.0 + 2.0 * x) / (1.0 - x))
+
+
+def refractive_index(alpha: np.ndarray, molecular_volume: float) -> float:
+    """Optical refractive index n = sqrt(eps) (electronic response only)."""
+    return float(np.sqrt(clausius_mossotti_dielectric(alpha, molecular_volume)))
+
+
+def polarizability_anisotropy(alpha: np.ndarray) -> float:
+    """Polarizability anisotropy Delta-alpha (rotational-Raman relevant).
+
+    ``Delta^2 = (3 Tr(A^2) - Tr(A)^2) / 2`` for the symmetric tensor A —
+    zero for isotropic response, positive otherwise.
+    """
+    alpha = np.asarray(alpha, dtype=float)
+    if alpha.shape != (3, 3):
+        raise ValueError(f"expected a 3x3 tensor, got {alpha.shape}")
+    sym = 0.5 * (alpha + alpha.T)
+    tr = np.trace(sym)
+    tr2 = np.trace(sym @ sym)
+    value = max(0.0, (3.0 * tr2 - tr * tr) / 2.0)
+    return float(np.sqrt(value))

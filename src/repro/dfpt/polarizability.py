@@ -1,0 +1,37 @@
+"""Polarizability tensors from converged responses (Eq. 13)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import CPSCFSettings
+from repro.dfpt.response import DFPTSolver
+from repro.dft.scf import GroundState
+
+
+def polarizability_tensor(
+    ground_state: GroundState,
+    settings: Optional[CPSCFSettings] = None,
+    solver: Optional[DFPTSolver] = None,
+) -> np.ndarray:
+    """Static dipole polarizability alpha_IJ (atomic units, Bohr^3).
+
+    alpha_IJ = d mu_I / d xi_J = -Tr(P^(1,J) D_I): one CPSCF solve per
+    field direction J fills one column.
+    """
+    solver = solver or DFPTSolver(ground_state, settings)
+    alpha = np.empty((3, 3))
+    for j in range(3):
+        result = solver.solve_direction(j)
+        alpha[:, j] = result.polarizability_column(ground_state.dipoles)
+    return alpha
+
+
+def isotropic_polarizability(alpha: np.ndarray) -> float:
+    """Orientation average: Tr(alpha) / 3."""
+    alpha = np.asarray(alpha, dtype=float)
+    if alpha.shape != (3, 3):
+        raise ValueError(f"expected a 3x3 tensor, got {alpha.shape}")
+    return float(np.trace(alpha) / 3.0)

@@ -1,0 +1,154 @@
+"""The coupled-perturbed SCF (CPSCF) cycle of Fig. 1.
+
+For a unit electric field along direction J the bare perturbation is
+``h^(1) = -r_J`` (Eq. 11).  Each cycle:
+
+* **DM phase** — first-order coefficients from the finite-basis
+  Sternheimer solution ``U_ai = H^(1)_ai / (eps_i - eps_a)`` and the
+  response density matrix P^(1) of Eq. (7);
+* **Sumup phase** — response density on the grid (Eq. 8);
+* **Rho phase** — response electrostatic potential via the multipole
+  Poisson solver (Eq. 9);
+* **H phase** — response Hamiltonian (Eq. 10) including the xc kernel
+  term of Eq. (12);
+
+iterated with linear mixing until the response density matrix is
+stationary.  Phase names deliberately match the paper's artifact
+(``DM``, ``Sumup``, ``Rho``, ``H``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import CPSCFSettings
+from repro.constants import EIGENVALUE_GAP_FLOOR
+from repro.dft.density import density_on_grid
+from repro.dft.scf import GroundState
+from repro.dft.xc import lda_xc_kernel
+from repro.errors import CPSCFConvergenceError
+from repro.utils.timing import PhaseTimer
+
+
+@dataclass
+class ResponseResult:
+    """Converged first-order response for one field direction."""
+
+    direction: int
+    response_density_matrix: np.ndarray  # P^(1)
+    response_orbitals: np.ndarray  # C^(1), occupied columns
+    response_density: np.ndarray  # n^(1) on the grid
+    response_potential: np.ndarray  # v^(1)_es,tot + v^(1)_xc on the grid
+    iterations: int
+    residual: float
+
+    def polarizability_column(self, dipoles: np.ndarray) -> np.ndarray:
+        """alpha_{I, J=direction} = Tr(P^(1) D_I) = int r_I n^(1) (Eq. 13).
+
+        The paper's convention: the perturbation is ``-r_J`` (Eq. 11)
+        and alpha is the response of ``int r_I n`` — both signs absorb
+        the electron charge, so the diagonal comes out positive.
+        """
+        return np.array(
+            [float(np.sum(self.response_density_matrix * dipoles[i])) for i in range(3)]
+        )
+
+
+class DFPTSolver:
+    """CPSCF solver bound to one converged ground state."""
+
+    def __init__(
+        self,
+        ground_state: GroundState,
+        settings: Optional[CPSCFSettings] = None,
+        timer: Optional[PhaseTimer] = None,
+    ) -> None:
+        self.gs = ground_state
+        self.settings = settings or CPSCFSettings()
+        self.timer = timer or PhaseTimer()
+        # The xc kernel is a ground-state property; compute it once.
+        self._fxc = lda_xc_kernel(ground_state.density)
+
+        occ_mask = ground_state.occupations > 0.0
+        self._c_occ = ground_state.orbitals[:, occ_mask]
+        self._c_virt = ground_state.orbitals[:, ~occ_mask]
+        self._f_occ = ground_state.occupations[occ_mask]
+        eps = ground_state.eigenvalues
+        self._eps_occ = eps[occ_mask]
+        self._eps_virt = eps[~occ_mask]
+        if self._c_virt.shape[1] == 0:
+            raise CPSCFConvergenceError(
+                "no virtual orbitals: the basis offers no response freedom",
+                iterations=0,
+                residual=0.0,
+            )
+        # Gap denominators eps_i - eps_a (occupied minus virtual): (n_virt, n_occ).
+        gaps = self._eps_occ[None, :] - self._eps_virt[:, None]
+        small = np.abs(gaps) < EIGENVALUE_GAP_FLOOR
+        if np.any(small):
+            gaps = np.where(small, -EIGENVALUE_GAP_FLOOR, gaps)
+        self._inv_gaps = 1.0 / gaps
+
+    # ------------------------------------------------------------------
+    def _first_order_dm(self, h1: np.ndarray) -> tuple:
+        """DM phase: U_ai, C^(1) and P^(1) from a response Hamiltonian."""
+        h1_vo = self._c_virt.T @ h1 @ self._c_occ  # (n_virt, n_occ)
+        u = h1_vo * self._inv_gaps
+        c1_occ = self._c_virt @ u  # (n_basis, n_occ)
+        p1 = (c1_occ * self._f_occ[None, :]) @ self._c_occ.T
+        p1 = p1 + p1.T  # Eq. (7): C1 C + C C1
+        return u, c1_occ, p1
+
+    def solve_direction(self, direction: int) -> ResponseResult:
+        """Run the CPSCF loop for one Cartesian field direction."""
+        if direction not in (0, 1, 2):
+            raise ValueError(f"direction must be 0, 1 or 2, got {direction}")
+        gs = self.gs
+        cfg = self.settings
+        h1_ext = -gs.dipoles[direction]
+
+        p1 = np.zeros_like(gs.density_matrix)
+        c1 = np.zeros_like(self._c_occ)
+        n1 = np.zeros_like(gs.density)
+        v1_total = np.zeros_like(gs.density)
+        residual = np.inf
+
+        for iteration in range(1, cfg.max_iterations + 1):
+            with self.timer.phase("Sumup"):
+                n1 = density_on_grid(gs.builder, p1)
+            with self.timer.phase("Rho"):
+                v1_h = gs.solver.hartree_potential(n1)
+            with self.timer.phase("H"):
+                v1_xc = self._fxc * n1
+                v1_total = v1_h + v1_xc
+                h1 = h1_ext + gs.builder.potential_matrix(v1_total)
+            with self.timer.phase("DM"):
+                _, c1, p1_new = self._first_order_dm(h1)
+
+            residual = float(np.abs(p1_new - p1).max())
+            p1 = p1 + cfg.mixing_factor * (p1_new - p1)
+            if residual < cfg.response_tolerance:
+                n1 = density_on_grid(gs.builder, p1)
+                return ResponseResult(
+                    direction=direction,
+                    response_density_matrix=p1,
+                    response_orbitals=c1,
+                    response_density=n1,
+                    response_potential=v1_total,
+                    iterations=iteration,
+                    residual=residual,
+                )
+
+        raise CPSCFConvergenceError(
+            f"CPSCF direction {direction} did not converge in "
+            f"{cfg.max_iterations} iterations (residual {residual:.2e})",
+            iterations=cfg.max_iterations,
+            residual=residual,
+        )
+
+    def solve_all(self) -> list:
+        """Responses for all three field directions."""
+        return [self.solve_direction(j) for j in range(3)]

@@ -1,0 +1,135 @@
+"""Harmonic vibrations by finite differences of SCF total energies.
+
+The SC'21 predecessor of this paper accelerated all-electron *Raman*
+simulations; Raman activities need normal modes and polarizability
+derivatives along them.  This module supplies the vibrational part: a
+central-finite-difference Hessian over the real SCF engine,
+mass-weighted normal-mode analysis, and harmonic frequencies in cm^-1.
+
+Cost is 2*(3N)^2/2 + ... SCF runs — intended for the small validation
+molecules (H2, H2O); the driver reuses its integrals across
+displacements of the *same* geometry only, so each displacement builds
+fresh (geometries differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.config import RunSettings, get_settings
+from repro.dft.scf import SCFDriver
+
+#: Atomic masses (amu) of the supported species.
+ATOMIC_MASSES = {"H": 1.008, "C": 12.011, "N": 14.007, "O": 15.999, "S": 32.06}
+
+#: amu in electron masses.
+AMU_IN_ME = 1822.888486
+
+#: Hartree-frequency (sqrt(Ha / (me Bohr^2))) to cm^-1.
+AU_FREQUENCY_IN_CM1 = 219474.63
+
+
+@dataclass
+class NormalModes:
+    """Result of a harmonic analysis.
+
+    Attributes
+    ----------
+    frequencies_cm1:
+        All 3N frequencies (cm^-1), ascending; imaginary frequencies
+        are reported as negative numbers.  The first ~6 (5 for linear
+        molecules) are near-zero translations/rotations.
+    modes:
+        ``(3N, 3N)`` mass-weighted eigenvectors (columns), aligned with
+        the frequencies.
+    hessian:
+        The raw ``(3N, 3N)`` Cartesian Hessian (Ha/Bohr^2).
+    """
+
+    structure: Structure
+    frequencies_cm1: np.ndarray
+    modes: np.ndarray
+    hessian: np.ndarray
+
+    def vibrational_frequencies(self, n_rigid: int = 6) -> np.ndarray:
+        """Frequencies with the rigid-body block dropped."""
+        return self.frequencies_cm1[n_rigid:]
+
+
+def _displaced(structure: Structure, atom: int, axis: int, delta: float) -> Structure:
+    coords = structure.coords.copy()
+    coords[atom, axis] += delta
+    return Structure(structure.symbols, coords, name=structure.name)
+
+
+def finite_difference_hessian(
+    structure: Structure,
+    settings: Optional[RunSettings] = None,
+    step: float = 5e-3,
+    charge: int = 0,
+) -> np.ndarray:
+    """Central-difference Hessian of the SCF total energy (Ha/Bohr^2).
+
+    Mixed second derivatives use the 4-point formula; diagonals the
+    3-point formula with the unperturbed energy.
+    """
+    if step <= 0.0:
+        raise ValueError(f"displacement step must be positive, got {step}")
+    settings = settings or get_settings("minimal")
+    n3 = 3 * structure.n_atoms
+
+    def energy(s: Structure) -> float:
+        return SCFDriver(s, settings, charge=charge).run().total_energy
+
+    e0 = energy(structure)
+    # Single displacements (cached for the diagonal and the mixed terms).
+    e_plus = np.empty(n3)
+    e_minus = np.empty(n3)
+    for i in range(n3):
+        atom, axis = divmod(i, 3)
+        e_plus[i] = energy(_displaced(structure, atom, axis, step))
+        e_minus[i] = energy(_displaced(structure, atom, axis, -step))
+
+    h = np.empty((n3, n3))
+    for i in range(n3):
+        h[i, i] = (e_plus[i] - 2.0 * e0 + e_minus[i]) / step**2
+        ai, xi = divmod(i, 3)
+        for j in range(i + 1, n3):
+            aj, xj = divmod(j, 3)
+            spp = _displaced(_displaced(structure, ai, xi, step), aj, xj, step)
+            smm = _displaced(_displaced(structure, ai, xi, -step), aj, xj, -step)
+            e_pp = energy(spp)
+            e_mm = energy(smm)
+            h[i, j] = h[j, i] = (
+                e_pp - e_plus[i] - e_plus[j] + 2.0 * e0 - e_minus[i] - e_minus[j] + e_mm
+            ) / (2.0 * step**2)
+    return h
+
+
+def normal_modes(
+    structure: Structure,
+    settings: Optional[RunSettings] = None,
+    step: float = 5e-3,
+    charge: int = 0,
+    hessian: Optional[np.ndarray] = None,
+) -> NormalModes:
+    """Mass-weighted harmonic analysis."""
+    if hessian is None:
+        hessian = finite_difference_hessian(structure, settings, step, charge)
+    masses = np.array(
+        [ATOMIC_MASSES[s] * AMU_IN_ME for s in structure.symbols]
+    )
+    inv_sqrt_m = 1.0 / np.sqrt(np.repeat(masses, 3))
+    weighted = hessian * inv_sqrt_m[:, None] * inv_sqrt_m[None, :]
+    evals, evecs = np.linalg.eigh(0.5 * (weighted + weighted.T))
+    freqs = np.sign(evals) * np.sqrt(np.abs(evals)) * AU_FREQUENCY_IN_CM1
+    return NormalModes(
+        structure=structure,
+        frequencies_cm1=freqs,
+        modes=evecs,
+        hessian=hessian,
+    )

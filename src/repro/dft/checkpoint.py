@@ -1,0 +1,82 @@
+"""Checkpointing of converged ground states.
+
+Long all-electron runs restart from saved orbitals; at minimum, the
+DFPT phase can be decoupled from the SCF phase across processes.  The
+format is a plain ``.npz`` with a version tag and a geometry hash so a
+stale checkpoint cannot be applied to a different structure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(ReproError):
+    """Checkpoint file unusable (wrong structure, version, corruption)."""
+
+
+def geometry_fingerprint(structure: Structure) -> str:
+    """Stable hash of symbols + coordinates (1e-10 Bohr resolution)."""
+    h = hashlib.sha256()
+    h.update(",".join(structure.symbols).encode())
+    h.update(np.round(structure.coords, 10).tobytes())
+    return h.hexdigest()
+
+
+def save_ground_state(path: PathLike, ground_state) -> None:
+    """Persist the converged SCF quantities needed to resume."""
+    gs = ground_state
+    np.savez_compressed(
+        Path(path),
+        version=np.array([_FORMAT_VERSION]),
+        fingerprint=np.frombuffer(
+            geometry_fingerprint(gs.structure).encode(), dtype=np.uint8
+        ),
+        eigenvalues=gs.eigenvalues,
+        orbitals=gs.orbitals,
+        occupations=gs.occupations,
+        density_matrix=gs.density_matrix,
+        total_energy=np.array([gs.total_energy]),
+        iterations=np.array([gs.iterations]),
+    )
+
+
+def load_ground_state_arrays(path: PathLike, structure: Structure) -> dict:
+    """Load and validate a checkpoint against the given structure.
+
+    Returns the stored arrays as a dict; raises
+    :class:`CheckpointError` on any mismatch.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    with np.load(path) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {version}, expected {_FORMAT_VERSION}"
+            )
+        stored = bytes(data["fingerprint"]).decode()
+        if stored != geometry_fingerprint(structure):
+            raise CheckpointError(
+                "checkpoint belongs to a different geometry"
+            )
+        return {
+            "eigenvalues": data["eigenvalues"],
+            "orbitals": data["orbitals"],
+            "occupations": data["occupations"],
+            "density_matrix": data["density_matrix"],
+            "total_energy": float(data["total_energy"][0]),
+            "iterations": int(data["iterations"][0]),
+        }

@@ -1,0 +1,138 @@
+"""Grid integration of operator matrices (Eq. 5's H and S, dipoles).
+
+A :class:`MatrixBuilder` binds a basis set to an integration grid and
+produces the density-independent matrices once (overlap, kinetic,
+nuclear attraction, dipole) plus cheap re-integration of potential
+matrices every SCF/CPSCF cycle — the computational pattern of the
+paper's "H" phase, executed batch by batch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.basis.basis_set import BasisSet
+from repro.errors import GridError
+from repro.grids.atom_grid import IntegrationGrid
+from repro.grids.batching import GridBatch, attach_relevant_atoms, build_batches
+from repro.utils.linalg import symmetrize
+
+#: Cache chi(point) tables when n_points * n_basis stays below this.
+_CACHE_LIMIT: int = 40_000_000
+
+
+class MatrixBuilder:
+    """Integrates basis-pair matrix elements over the grid.
+
+    Parameters
+    ----------
+    basis:
+        The structure's NAO basis.
+    grid:
+        Integration grid with partition weights available.
+    batches:
+        Optional pre-built batch list; built on demand otherwise.
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        grid: IntegrationGrid,
+        batches: Optional[List[GridBatch]] = None,
+    ) -> None:
+        self.basis = basis
+        self.grid = grid
+        if grid.partition_weights is None:
+            grid.compute_partition_weights()
+        if batches is None:
+            batches = build_batches(grid)
+            batches = attach_relevant_atoms(batches, grid.structure, basis.atom_cutoffs)
+        elif batches and not batches[0].relevant_atoms:
+            batches = attach_relevant_atoms(batches, grid.structure, basis.atom_cutoffs)
+        self.batches = batches
+        self._values_cache: Optional[np.ndarray] = None
+        self._use_cache = grid.n_points * basis.n_basis <= _CACHE_LIMIT
+
+    # ------------------------------------------------------------------
+    # Basis tables
+    # ------------------------------------------------------------------
+    def basis_values(self) -> np.ndarray:
+        """chi_mu at every grid point, ``(n_points, n_basis)`` (cached)."""
+        if self._values_cache is None:
+            values = np.zeros((self.grid.n_points, self.basis.n_basis))
+            for b in self.batches:
+                idx = b.point_indices
+                values[idx] = self.basis.evaluate(
+                    self.grid.points[idx], atoms=b.relevant_atoms
+                )
+            if not self._use_cache:
+                return values
+            self._values_cache = values
+        return self._values_cache
+
+    # ------------------------------------------------------------------
+    # Density-independent matrices
+    # ------------------------------------------------------------------
+    def overlap(self) -> np.ndarray:
+        """S_mu_nu = <chi_mu | chi_nu>."""
+        phi = self.basis_values()
+        w = self.grid.weights
+        return symmetrize(phi.T @ (phi * w[:, None]))
+
+    def kinetic(self) -> np.ndarray:
+        """T_mu_nu = (1/2) <grad chi_mu | grad chi_nu> (by parts)."""
+        w = self.grid.weights
+        t = np.zeros((self.basis.n_basis, self.basis.n_basis))
+        # Gradients are only needed here, once; integrate batch-wise to
+        # bound memory at (batch points x n_basis x 3).
+        for b in self.batches:
+            idx = b.point_indices
+            _, grads = self.basis.evaluate_with_gradients(
+                self.grid.points[idx], atoms=b.relevant_atoms
+            )
+            wb = w[idx]
+            for k in range(3):
+                gk = grads[:, :, k]
+                t += gk.T @ (gk * wb[:, None])
+        return symmetrize(0.5 * t)
+
+    def nuclear_attraction(self) -> np.ndarray:
+        """V_mu_nu with v_ext(r) = -sum_a Z_a / |r - R_a|."""
+        return self.potential_matrix(self.external_potential())
+
+    def external_potential(self) -> np.ndarray:
+        """v_ext sampled at every grid point."""
+        v = np.zeros(self.grid.n_points)
+        coords = self.grid.structure.coords
+        charges = self.grid.structure.nuclear_charges
+        for a in range(self.grid.structure.n_atoms):
+            r = np.linalg.norm(self.grid.points - coords[a], axis=1)
+            v -= charges[a] / np.maximum(r, 1e-12)
+        return v
+
+    def dipole_matrices(self) -> np.ndarray:
+        """D^J_mu_nu = <chi_mu | r_J | chi_nu>, shape ``(3, n, n)``."""
+        phi = self.basis_values()
+        w = self.grid.weights
+        out = np.empty((3, self.basis.n_basis, self.basis.n_basis))
+        for j in range(3):
+            rj = self.grid.points[:, j]
+            out[j] = symmetrize(phi.T @ (phi * (w * rj)[:, None]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Density-dependent matrices (rebuilt every cycle)
+    # ------------------------------------------------------------------
+    def potential_matrix(self, potential_values: np.ndarray) -> np.ndarray:
+        """V_mu_nu = <chi_mu | v | chi_nu> for a pointwise potential."""
+        potential_values = np.asarray(potential_values, dtype=float)
+        if potential_values.shape[0] != self.grid.n_points:
+            raise GridError(
+                f"{potential_values.shape[0]} potential samples for "
+                f"{self.grid.n_points} grid points"
+            )
+        phi = self.basis_values()
+        wv = self.grid.weights * potential_values
+        return symmetrize(phi.T @ (phi * wv[:, None]))

@@ -1,0 +1,115 @@
+"""Orbital occupations: aufbau filling and Fermi-Dirac smearing.
+
+Eq. (3)'s f_i.  Zero electronic temperature gives integer aufbau
+occupation; a finite ``width`` (Hartree) smears them with the
+Fermi-Dirac distribution, with the chemical potential found by
+bisection so the electron count is conserved — necessary for metallic
+or near-degenerate systems and for fractional-charge studies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SCFConvergenceError
+
+
+def aufbau_occupations(
+    eigenvalues: np.ndarray, n_electrons: float, max_occ: float = 2.0
+) -> np.ndarray:
+    """Integer filling of the lowest states.
+
+    ``n_electrons`` may include one partially filled frontier orbital
+    (e.g. 1 electron with max_occ=2 fills half an orbital) — anything
+    beyond that needs smearing.
+    """
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if n_electrons < 0:
+        raise SCFConvergenceError(
+            f"negative electron count {n_electrons}", iterations=0, residual=0.0
+        )
+    n_full = int(n_electrons // max_occ)
+    remainder = n_electrons - n_full * max_occ
+    if n_full > eigenvalues.shape[0] or (
+        n_full == eigenvalues.shape[0] and remainder > 0
+    ):
+        raise SCFConvergenceError(
+            f"{n_electrons} electrons do not fit in {eigenvalues.shape[0]} states",
+            iterations=0,
+            residual=0.0,
+        )
+    order = np.argsort(eigenvalues, kind="stable")
+    f = np.zeros_like(eigenvalues)
+    f[order[:n_full]] = max_occ
+    if remainder > 0:
+        f[order[n_full]] = remainder
+    return f
+
+
+def fermi_occupations(
+    eigenvalues: np.ndarray,
+    n_electrons: float,
+    width: float,
+    max_occ: float = 2.0,
+    tolerance: float = 1e-12,
+    max_iterations: int = 200,
+) -> Tuple[np.ndarray, float]:
+    """Fermi-Dirac occupations and the chemical potential.
+
+    Returns ``(f, mu)`` with ``sum(f) = n_electrons`` to *tolerance*.
+    ``width`` is k_B T in Hartree; width -> 0 recovers aufbau filling.
+    """
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if width <= 0.0:
+        f = aufbau_occupations(eigenvalues, n_electrons, max_occ)
+        homo = eigenvalues[f > 0].max() if np.any(f > 0) else eigenvalues.min()
+        return f, float(homo)
+    if not 0 <= n_electrons <= max_occ * eigenvalues.shape[0]:
+        raise SCFConvergenceError(
+            f"{n_electrons} electrons outside [0, {max_occ * len(eigenvalues)}]",
+            iterations=0,
+            residual=0.0,
+        )
+
+    def count(mu: float) -> float:
+        x = np.clip((eigenvalues - mu) / width, -500.0, 500.0)
+        return float(np.sum(max_occ / (1.0 + np.exp(x))))
+
+    lo = float(eigenvalues.min()) - 50.0 * width
+    hi = float(eigenvalues.max()) + 50.0 * width
+    for _ in range(max_iterations):
+        mu = 0.5 * (lo + hi)
+        c = count(mu)
+        if abs(c - n_electrons) < tolerance:
+            break
+        if c < n_electrons:
+            lo = mu
+        else:
+            hi = mu
+    else:
+        mu = 0.5 * (lo + hi)
+        if abs(count(mu) - n_electrons) > 1e-8:
+            raise SCFConvergenceError(
+                "chemical-potential bisection failed", iterations=max_iterations,
+                residual=abs(count(mu) - n_electrons),
+            )
+    x = np.clip((eigenvalues - mu) / width, -500.0, 500.0)
+    return max_occ / (1.0 + np.exp(x)), float(mu)
+
+
+def smearing_entropy(
+    occupations: np.ndarray, width: float, max_occ: float = 2.0
+) -> float:
+    """Electronic-entropy term ``-T S`` of Fermi smearing (Hartree).
+
+    Added to the total energy so the smeared functional stays
+    variational (Mermin).  Zero when width is zero.
+    """
+    if width <= 0.0:
+        return 0.0
+    f = np.clip(np.asarray(occupations, dtype=float) / max_occ, 1e-300, 1.0)
+    g = np.clip(1.0 - f, 1e-300, 1.0)
+    s = -np.sum(max_occ * (f * np.log(f) + g * np.log(g)))
+    return float(-width * s)

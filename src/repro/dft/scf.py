@@ -1,0 +1,231 @@
+"""The ground-state Kohn-Sham self-consistency cycle (Eqs. 1-6).
+
+:class:`SCFDriver` assembles the whole substrate — basis, grid,
+multipole Hartree solver, matrix builder — and iterates density ->
+potential -> Hamiltonian -> orbitals to convergence, with DIIS
+acceleration.  A homogeneous external electric field can be applied,
+which is how the finite-difference polarizability reference for the
+DFPT validation is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.basis.basis_set import BasisSet, build_basis
+from repro.config import RunSettings, get_settings
+from repro.dft.density import density_on_grid
+from repro.dft.hamiltonian import MatrixBuilder
+from repro.dft.hartree import MultipoleSolver
+from repro.dft.mixing import PulayMixer
+from repro.dft.xc import lda_exchange_correlation
+from repro.errors import SCFConvergenceError
+from repro.grids.atom_grid import IntegrationGrid, build_grid
+from repro.utils.linalg import (
+    density_matrix_from_orbitals,
+    solve_generalized_eigenproblem,
+)
+from repro.utils.timing import PhaseTimer
+
+
+@dataclass
+class GroundState:
+    """Converged ground-state data consumed by the DFPT cycle."""
+
+    structure: Structure
+    basis: BasisSet
+    grid: IntegrationGrid
+    builder: MatrixBuilder
+    solver: MultipoleSolver
+    overlap: np.ndarray
+    kinetic: np.ndarray
+    dipoles: np.ndarray  # (3, n, n)
+    eigenvalues: np.ndarray
+    orbitals: np.ndarray
+    occupations: np.ndarray
+    density_matrix: np.ndarray
+    density: np.ndarray  # pointwise n0
+    total_energy: float
+    energy_components: Dict[str, float] = field(default_factory=dict)
+    iterations: int = 0
+
+    @property
+    def n_occupied(self) -> int:
+        return int(np.count_nonzero(self.occupations > 0.0))
+
+    def dipole_moment(self) -> np.ndarray:
+        """mu_I = -Tr(P D_I) + sum_a Z_a R_a,I (atomic units, e*Bohr)."""
+        electronic = -np.array(
+            [np.sum(self.density_matrix * self.dipoles[j]) for j in range(3)]
+        )
+        nuclear = self.structure.nuclear_charges @ self.structure.coords
+        return electronic + nuclear
+
+
+class SCFDriver:
+    """Build the substrate once, then run SCF cycles (optionally in a field)."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        settings: Optional[RunSettings] = None,
+        charge: int = 0,
+        timer: Optional[PhaseTimer] = None,
+    ) -> None:
+        self.structure = structure
+        self.settings = settings or get_settings("light")
+        self.charge = charge
+        self.timer = timer or PhaseTimer()
+
+        n_electrons = structure.n_electrons - charge
+        if n_electrons <= 0:
+            raise SCFConvergenceError(
+                f"no electrons left with charge {charge}", iterations=0, residual=0.0
+            )
+        if n_electrons % 2 != 0:
+            raise SCFConvergenceError(
+                f"restricted closed-shell SCF needs an even electron count, "
+                f"got {n_electrons}; adjust `charge`",
+                iterations=0,
+                residual=0.0,
+            )
+        self.n_electrons = n_electrons
+
+        self.basis = build_basis(structure)
+        self.grid = build_grid(structure, self.settings.grids, with_partition=True)
+        self.builder = MatrixBuilder(self.basis, self.grid)
+        self.solver = MultipoleSolver(self.grid, self.settings.l_max_hartree)
+
+        with self.timer.phase("integrals"):
+            self._s = self.builder.overlap()
+            self._t = self.builder.kinetic()
+            self._v_ext_values = self.builder.external_potential()
+            self._v_ext = self.builder.potential_matrix(self._v_ext_values)
+            self._dipoles = self.builder.dipole_matrices()
+
+        self._e_nn = self._nuclear_repulsion()
+
+    def _nuclear_repulsion(self) -> float:
+        z = self.structure.nuclear_charges
+        coords = self.structure.coords
+        e = 0.0
+        for i in range(len(z)):
+            r = np.linalg.norm(coords[i + 1 :] - coords[i], axis=1)
+            e += float(np.sum(z[i] * z[i + 1 :] / r))
+        return e
+
+    def _occupations(self, n_states: int) -> np.ndarray:
+        n_occ = self.n_electrons // 2
+        if n_occ > n_states:
+            raise SCFConvergenceError(
+                f"basis too small: {n_states} states for {n_occ} occupied orbitals",
+                iterations=0,
+                residual=0.0,
+            )
+        f = np.zeros(n_states)
+        f[:n_occ] = 2.0
+        return f
+
+    def run(
+        self, external_field: Optional[np.ndarray] = None
+    ) -> GroundState:
+        """Iterate to self-consistency; returns the converged state.
+
+        Parameters
+        ----------
+        external_field:
+            Optional homogeneous field xi (3-vector).  Adds the
+            perturbation ``-xi . r`` of Eq. (11) to the Hamiltonian —
+            used by finite-difference polarizability references.
+        """
+        scf = self.settings.scf
+        h_field = np.zeros_like(self._s)
+        if external_field is not None:
+            xi = np.asarray(external_field, dtype=float)
+            for j in range(3):
+                if xi[j] != 0.0:
+                    h_field -= xi[j] * self._dipoles[j]
+
+        # Initial guess: core Hamiltonian.
+        h_core = self._t + self._v_ext + h_field
+        eps, c = solve_generalized_eigenproblem(h_core, self._s)
+        f = self._occupations(eps.shape[0])
+        p = density_matrix_from_orbitals(c, f)
+
+        mixer = PulayMixer(history=scf.pulay_history, linear_factor=scf.mixing_factor)
+        e_old = np.inf
+        residual_norm = np.inf
+        w = self.grid.weights
+
+        for iteration in range(1, scf.max_iterations + 1):
+            with self.timer.phase("density"):
+                n_values = density_on_grid(self.builder, p)
+            with self.timer.phase("hartree"):
+                v_h_values = self.solver.hartree_potential(n_values)
+            with self.timer.phase("xc"):
+                xc = lda_exchange_correlation(n_values)
+            with self.timer.phase("hamiltonian"):
+                v_eff = self.builder.potential_matrix(v_h_values + xc.vxc)
+                h = self._t + self._v_ext + v_eff + h_field
+
+            # DIIS on the Fock matrix with commutator residual.
+            commutator = h @ p @ self._s - self._s @ p @ h
+            residual_norm = float(np.abs(commutator).max())
+            h_mixed = mixer.push(h, commutator)
+
+            with self.timer.phase("eigensolver"):
+                eps, c = solve_generalized_eigenproblem(h_mixed, self._s)
+            f = self._occupations(eps.shape[0])
+            p_new = density_matrix_from_orbitals(c, f)
+
+            # Energy from the *unmixed* Hamiltonian ingredients.
+            e_kin = float(np.sum(p * self._t))
+            e_ext = float(np.sum(p * self._v_ext))
+            e_h = 0.5 * float(np.sum(w * n_values * v_h_values))
+            e_xc = float(np.sum(w * n_values * xc.exc))
+            e_total = e_kin + e_ext + e_h + e_xc + self._e_nn
+            if external_field is not None:
+                e_total -= float(np.sum((p * h_field)))  # note: h_field = -xi.D
+
+            delta_e = abs(e_total - e_old)
+            delta_p = float(np.abs(p_new - p).max())
+            e_old = e_total
+            p = p_new
+
+            if delta_e < scf.energy_tolerance and delta_p < scf.density_tolerance:
+                n_values = density_on_grid(self.builder, p)
+                return GroundState(
+                    structure=self.structure,
+                    basis=self.basis,
+                    grid=self.grid,
+                    builder=self.builder,
+                    solver=self.solver,
+                    overlap=self._s,
+                    kinetic=self._t,
+                    dipoles=self._dipoles,
+                    eigenvalues=eps,
+                    orbitals=c,
+                    occupations=f,
+                    density_matrix=p,
+                    density=n_values,
+                    total_energy=e_total,
+                    energy_components={
+                        "kinetic": e_kin,
+                        "external": e_ext,
+                        "hartree": e_h,
+                        "xc": e_xc,
+                        "nuclear": self._e_nn,
+                    },
+                    iterations=iteration,
+                )
+
+        raise SCFConvergenceError(
+            f"SCF did not converge in {scf.max_iterations} iterations "
+            f"(last residual {residual_norm:.2e})",
+            iterations=scf.max_iterations,
+            residual=residual_norm,
+        )

@@ -1,0 +1,178 @@
+"""Unrestricted (spin-polarized) Kohn-Sham SCF.
+
+Open-shell companion of :class:`repro.dft.scf.SCFDriver`: two sets of
+orbitals share the electrostatics but see their own LSDA potential.
+Needed for radicals and magnetic systems (the closed-shell driver
+refuses odd electron counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.basis.basis_set import build_basis
+from repro.config import RunSettings, get_settings
+from repro.dft.density import density_on_grid
+from repro.dft.hamiltonian import MatrixBuilder
+from repro.dft.hartree import MultipoleSolver
+from repro.dft.mixing import PulayMixer
+from repro.dft.occupations import aufbau_occupations
+from repro.dft.xc_spin import lsda_exchange_correlation
+from repro.errors import SCFConvergenceError
+from repro.grids.atom_grid import build_grid
+from repro.utils.linalg import (
+    density_matrix_from_orbitals,
+    solve_generalized_eigenproblem,
+)
+
+
+@dataclass
+class SpinGroundState:
+    """Converged unrestricted ground state."""
+
+    structure: Structure
+    total_energy: float
+    eigenvalues: Tuple[np.ndarray, np.ndarray]  # (up, dn)
+    orbitals: Tuple[np.ndarray, np.ndarray]
+    occupations: Tuple[np.ndarray, np.ndarray]
+    density_matrices: Tuple[np.ndarray, np.ndarray]
+    densities: Tuple[np.ndarray, np.ndarray]  # pointwise n_up, n_dn
+    energy_components: Dict[str, float]
+    iterations: int
+
+    @property
+    def spin_moment(self) -> float:
+        """Total magnetization 2 S_z = N_up - N_dn."""
+        return float(self.occupations[0].sum() - self.occupations[1].sum())
+
+
+class UKSDriver:
+    """Unrestricted LSDA SCF for a given charge and multiplicity."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        settings: Optional[RunSettings] = None,
+        charge: int = 0,
+        multiplicity: Optional[int] = None,
+    ) -> None:
+        self.structure = structure
+        self.settings = settings or get_settings("light")
+
+        n_electrons = structure.n_electrons - charge
+        if n_electrons <= 0:
+            raise SCFConvergenceError(
+                "no electrons", iterations=0, residual=0.0
+            )
+        if multiplicity is None:
+            multiplicity = 1 if n_electrons % 2 == 0 else 2
+        n_unpaired = multiplicity - 1
+        if n_unpaired < 0 or (n_electrons - n_unpaired) % 2 != 0:
+            raise SCFConvergenceError(
+                f"multiplicity {multiplicity} incompatible with "
+                f"{n_electrons} electrons",
+                iterations=0,
+                residual=0.0,
+            )
+        self.n_up = (n_electrons + n_unpaired) // 2
+        self.n_dn = (n_electrons - n_unpaired) // 2
+
+        self.basis = build_basis(structure)
+        self.grid = build_grid(structure, self.settings.grids, with_partition=True)
+        self.builder = MatrixBuilder(self.basis, self.grid)
+        self.solver = MultipoleSolver(self.grid, self.settings.l_max_hartree)
+
+        self._s = self.builder.overlap()
+        self._t = self.builder.kinetic()
+        self._v_ext = self.builder.potential_matrix(self.builder.external_potential())
+
+        z = structure.nuclear_charges
+        coords = structure.coords
+        e_nn = 0.0
+        for i in range(len(z)):
+            r = np.linalg.norm(coords[i + 1 :] - coords[i], axis=1)
+            e_nn += float(np.sum(z[i] * z[i + 1 :] / r))
+        self._e_nn = e_nn
+
+    def run(self) -> SpinGroundState:
+        """Iterate both spin channels to self-consistency."""
+        scf = self.settings.scf
+        h_core = self._t + self._v_ext
+        eps_u, c_u = solve_generalized_eigenproblem(h_core, self._s)
+        eps_d, c_d = eps_u.copy(), c_u.copy()
+        f_u = aufbau_occupations(eps_u, self.n_up, max_occ=1.0)
+        f_d = aufbau_occupations(eps_d, self.n_dn, max_occ=1.0)
+        p_u = density_matrix_from_orbitals(c_u, f_u)
+        p_d = density_matrix_from_orbitals(c_d, f_d)
+
+        mixer_u = PulayMixer(history=scf.pulay_history, linear_factor=scf.mixing_factor)
+        mixer_d = PulayMixer(history=scf.pulay_history, linear_factor=scf.mixing_factor)
+        w = self.grid.weights
+        e_old = np.inf
+
+        for iteration in range(1, scf.max_iterations + 1):
+            n_u = density_on_grid(self.builder, p_u)
+            n_d = density_on_grid(self.builder, p_d)
+            n_tot = n_u + n_d
+            v_h = self.solver.hartree_potential(n_tot)
+            xc = lsda_exchange_correlation(n_u, n_d)
+
+            h_u = self._t + self._v_ext + self.builder.potential_matrix(v_h + xc.vxc_up)
+            h_d = self._t + self._v_ext + self.builder.potential_matrix(v_h + xc.vxc_dn)
+
+            comm_u = h_u @ p_u @ self._s - self._s @ p_u @ h_u
+            comm_d = h_d @ p_d @ self._s - self._s @ p_d @ h_d
+            h_u = mixer_u.push(h_u, comm_u)
+            h_d = mixer_d.push(h_d, comm_d)
+
+            eps_u, c_u = solve_generalized_eigenproblem(h_u, self._s)
+            eps_d, c_d = solve_generalized_eigenproblem(h_d, self._s)
+            f_u = aufbau_occupations(eps_u, self.n_up, max_occ=1.0)
+            f_d = aufbau_occupations(eps_d, self.n_dn, max_occ=1.0)
+            p_u_new = density_matrix_from_orbitals(c_u, f_u)
+            p_d_new = density_matrix_from_orbitals(c_d, f_d)
+
+            e_kin = float(np.sum((p_u + p_d) * self._t))
+            e_ext = float(np.sum((p_u + p_d) * self._v_ext))
+            e_h = 0.5 * float(np.sum(w * n_tot * v_h))
+            e_xc = float(np.sum(w * n_tot * xc.exc))
+            e_total = e_kin + e_ext + e_h + e_xc + self._e_nn
+
+            delta_e = abs(e_total - e_old)
+            delta_p = max(
+                float(np.abs(p_u_new - p_u).max()),
+                float(np.abs(p_d_new - p_d).max()),
+            )
+            e_old = e_total
+            p_u, p_d = p_u_new, p_d_new
+
+            if delta_e < scf.energy_tolerance and delta_p < scf.density_tolerance:
+                n_u = density_on_grid(self.builder, p_u)
+                n_d = density_on_grid(self.builder, p_d)
+                return SpinGroundState(
+                    structure=self.structure,
+                    total_energy=e_total,
+                    eigenvalues=(eps_u, eps_d),
+                    orbitals=(c_u, c_d),
+                    occupations=(f_u, f_d),
+                    density_matrices=(p_u, p_d),
+                    densities=(n_u, n_d),
+                    energy_components={
+                        "kinetic": e_kin,
+                        "external": e_ext,
+                        "hartree": e_h,
+                        "xc": e_xc,
+                        "nuclear": self._e_nn,
+                    },
+                    iterations=iteration,
+                )
+
+        raise SCFConvergenceError(
+            f"UKS SCF did not converge in {scf.max_iterations} iterations",
+            iterations=scf.max_iterations,
+            residual=delta_p,
+        )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all :mod:`repro` exceptions."""
+
+
+class GeometryError(ReproError):
+    """Malformed structure input (unknown element, bad geometry file...)."""
+
+
+class BasisError(ReproError):
+    """Basis-set construction or evaluation failure."""
+
+
+class GridError(ReproError):
+    """Integration-grid construction failure (bad rule order, empty batch...)."""
+
+
+class SCFConvergenceError(ReproError):
+    """The ground-state SCF cycle failed to reach the requested tolerance."""
+
+    def __init__(self, message: str, *, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class CPSCFConvergenceError(ReproError):
+    """The coupled-perturbed SCF (DFPT) cycle failed to converge."""
+
+    def __init__(self, message: str, *, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class MappingError(ReproError):
+    """Task-mapping failure (more ranks than batches, empty partitions...)."""
+
+
+class CommunicationError(ReproError):
+    """Simulated-MPI misuse (mismatched buffers, unknown ranks...)."""
+
+
+class DeviceError(ReproError):
+    """Simulated OpenCL device misuse (buffer overflow, bad NDRange...)."""
+
+
+class KernelFusionError(DeviceError):
+    """A requested kernel fusion is illegal on the target device."""
+
+
+class ExperimentError(ReproError):
+    """An experiment/benchmark harness was configured inconsistently."""

@@ -1,0 +1,44 @@
+"""Shared infrastructure for the figure experiments.
+
+Scale experiments can be expensive to *generate* (hundreds of thousands
+of batches); by default they run a representative subset of the paper's
+parameter grid and expand to the full grid when ``REPRO_FULL_SCALE=1``
+is set in the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.atoms.builders import polyethylene, polyethylene_units_for_atoms
+from repro.config import get_settings
+from repro.core.simulator import PerturbationSimulator
+
+#: The paper's H(C2H4)nH sizes (6n+2 atoms): 15 002 ... 200 012.
+POLY_ATOM_COUNTS: Tuple[int, ...] = (15002, 30002, 60002, 117602, 200012)
+
+
+def full_scale_enabled() -> bool:
+    """Run the paper's complete parameter grid (env REPRO_FULL_SCALE=1)."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@lru_cache(maxsize=8)
+def polyethylene_simulator(n_atoms: int, level: str = "light") -> PerturbationSimulator:
+    """Cached simulator (workload + batches are the expensive parts)."""
+    n_units = polyethylene_units_for_atoms(n_atoms)
+    return PerturbationSimulator(polyethylene(n_units), get_settings(level))
+
+
+def polyethylene_workloads(
+    atom_counts: Sequence[int],
+) -> Dict[int, PerturbationSimulator]:
+    """Simulators for several chain lengths."""
+    return {n: polyethylene_simulator(n) for n in atom_counts}
+
+
+def default_rank_grid(paper_grid: Sequence[int], quick: Sequence[int]) -> List[int]:
+    """Choose the sweep: full paper grid or the quick subset."""
+    return list(paper_grid) if full_scale_enabled() else list(quick)

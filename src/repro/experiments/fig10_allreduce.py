@@ -1,0 +1,100 @@
+"""Figure 10 — AllReduce time on rho_multipole for the three schemes.
+
+Sweeps rank counts for the 30 002- and 60 002-atom polyethylene chains
+on both machines: baseline row-wise, packed (512 rows / <=30 MB), and
+packed-hierarchical (HPC #2 only, one data copy per 32-rank node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.basis.ylm import n_lm
+from repro.comm.schemes import (
+    BaselineRowwiseAllreduce,
+    PackedAllreduce,
+    PackedHierarchicalAllreduce,
+    ReductionReport,
+)
+from repro.config import get_settings
+from repro.grids.shells import radial_shells_for_species
+from repro.runtime.machines import HPC1_SUNWAY, HPC2_AMD, MachineSpec
+from repro.utils.reports import TableFormatter, format_seconds
+
+#: Paper sweep: (atoms, rank counts) per machine.
+PAPER_RANKS_HPC1 = {30002: (256, 512, 1024, 2048, 4096), 60002: (512, 1024, 2048, 4096, 8192)}
+PAPER_RANKS_HPC2 = PAPER_RANKS_HPC1
+
+
+def rho_multipole_row_bytes(level: str = "light") -> int:
+    """Bytes of one rho_multipole row (one atom's shells x lm channels).
+
+    Uses the carbon radial mesh (the heavier species of the chain).
+    """
+    settings = get_settings(level)
+    shells = radial_shells_for_species(6, settings.grids.n_radial_base)
+    return shells.n * n_lm(settings.l_max_hartree) * 8
+
+
+@dataclass
+class Fig10Result:
+    machine: str
+    rows: List[Tuple[int, int, str, float, float]]
+    # (atoms, ranks, scheme, comm_time, local_time)
+
+    def render(self) -> str:
+        t = TableFormatter(
+            ["atoms", "ranks", "scheme", "comm", "local update", "speedup"],
+            title=f"Fig 10: rho_multipole AllReduce time, {self.machine}",
+        )
+        base: Dict[Tuple[int, int], float] = {}
+        for atoms, ranks, scheme, comm, local in self.rows:
+            total = comm + local
+            if scheme == "baseline":
+                base[(atoms, ranks)] = total
+            speedup = base.get((atoms, ranks), total) / total
+            t.add_row(
+                [
+                    atoms,
+                    ranks,
+                    scheme,
+                    format_seconds(comm),
+                    format_seconds(local),
+                    f"{speedup:.1f}x",
+                ]
+            )
+        return t.render()
+
+    def speedups(self, scheme: str) -> Dict[Tuple[int, int], float]:
+        """Speedup of *scheme* over baseline per (atoms, ranks)."""
+        totals: Dict[Tuple[int, int, str], float] = {
+            (a, r, s): c + l for a, r, s, c, l in self.rows
+        }
+        out = {}
+        for (a, r, s), tt in totals.items():
+            if s == scheme:
+                out[(a, r)] = totals[(a, r, "baseline")] / tt
+        return out
+
+
+def run_fig10_allreduce(
+    machine: MachineSpec,
+    sweeps: Optional[Dict[int, Sequence[int]]] = None,
+) -> Fig10Result:
+    """Estimate all schemes across the sweep for one machine."""
+    if sweeps is None:
+        sweeps = PAPER_RANKS_HPC1 if machine is HPC1_SUNWAY else PAPER_RANKS_HPC2
+    row_bytes = rho_multipole_row_bytes()
+    schemes = [BaselineRowwiseAllreduce(), PackedAllreduce()]
+    if machine.shm_windows:
+        schemes.append(PackedHierarchicalAllreduce())
+    rows = []
+    for atoms, rank_list in sorted(sweeps.items()):
+        for p in rank_list:
+            for scheme in schemes:
+                rep: ReductionReport = scheme.estimate(machine, p, atoms, row_bytes)
+                rows.append(
+                    (atoms, p, rep.scheme, rep.communication_time, rep.local_update_time)
+                )
+    return Fig10Result(machine=machine.name, rows=rows)

@@ -1,0 +1,100 @@
+"""Figure 14 — overall per-phase impact of all innovations.
+
+Per-phase execution time before (all flags off) and after (all on) for
+the paper's representative cases: the RBD-like protein on few ranks and
+the 30 002-atom polyethylene chain at scale, on both machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.atoms.builders import rbd_like_protein
+from repro.config import get_settings
+from repro.core.flags import OptimizationFlags
+from repro.core.simulator import PerturbationSimulator, SimulationReport
+from repro.experiments.common import polyethylene_simulator
+from repro.runtime.machines import HPC1_SUNWAY, HPC2_AMD, MachineSpec
+from repro.utils.reports import TableFormatter, format_seconds
+
+#: The paper's showcased cases: (label, system, machine, ranks).
+DEFAULT_CASES: Tuple[Tuple[str, str, str, int], ...] = (
+    ("RBD/64@HPC1", "rbd", "hpc1", 64),
+    ("RBD/256@HPC2", "rbd", "hpc2", 256),
+    ("Poly/2048@HPC2", "poly30002", "hpc2", 2048),
+    ("Poly/4096@HPC1", "poly30002", "hpc1", 4096),
+)
+
+
+@dataclass
+class Fig14Case:
+    label: str
+    before: SimulationReport
+    after: SimulationReport
+
+    @property
+    def overall_speedup(self) -> float:
+        return self.before.cycle_seconds / self.after.cycle_seconds
+
+    def phase_speedups(self) -> Dict[str, float]:
+        out = {}
+        for phase, t0 in self.before.per_cycle_seconds.items():
+            t1 = self.after.per_cycle_seconds[phase]
+            out[phase] = t0 / t1 if t1 > 0 else float("inf")
+        return out
+
+
+@dataclass
+class Fig14Result:
+    cases: List[Fig14Case]
+
+    def render(self) -> str:
+        t = TableFormatter(
+            ["case", "phase", "before", "after", "speedup"],
+            title="Fig 14: per-phase impact of all innovations",
+        )
+        for case in self.cases:
+            for phase, t0 in case.before.per_cycle_seconds.items():
+                t1 = case.after.per_cycle_seconds[phase]
+                s = t0 / t1 if t1 > 0 else float("inf")
+                t.add_row(
+                    [case.label, phase, format_seconds(t0), format_seconds(t1), f"{s:.2f}x"]
+                )
+            t.add_row(
+                [
+                    case.label,
+                    "TOTAL",
+                    format_seconds(case.before.cycle_seconds),
+                    format_seconds(case.after.cycle_seconds),
+                    f"{case.overall_speedup:.2f}x",
+                ]
+            )
+        return t.render()
+
+
+def _simulator(system: str) -> PerturbationSimulator:
+    if system == "rbd":
+        return PerturbationSimulator(rbd_like_protein(), get_settings("light"))
+    if system == "poly30002":
+        return polyethylene_simulator(30002)
+    raise ValueError(f"unknown system {system!r}")
+
+
+def _machine(name: str) -> MachineSpec:
+    return HPC1_SUNWAY if name == "hpc1" else HPC2_AMD
+
+
+def run_fig14_overall(cases=DEFAULT_CASES) -> Fig14Result:
+    """Before/after phase breakdowns for the showcased cases."""
+    sims: Dict[str, PerturbationSimulator] = {}
+    out = []
+    for label, system, machine_name, ranks in cases:
+        if system not in sims:
+            sims[system] = _simulator(system)
+        sim = sims[system]
+        machine = _machine(machine_name)
+        before = sim.run_model(machine, ranks, OptimizationFlags.none())
+        after = sim.run_model(machine, ranks, OptimizationFlags.all())
+        out.append(Fig14Case(label=label, before=before, after=after))
+    return Fig14Result(cases=out)

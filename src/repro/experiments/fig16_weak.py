@@ -1,0 +1,83 @@
+"""Figure 16 — weak scaling from 30 002 to 200 012 atoms.
+
+Atoms and ranks grow together (paper: HPC #1 uses 2500/5000/10000/20480
+ranks, HPC #2 uses 2048/4096/8192/16384).  Efficiency is
+``t_first / t_last`` of per-cycle times normalized by the per-rank
+workload, which would be constant under perfect weak scaling; the
+response-potential's O(N^1.7) growth drags it down at large N exactly
+as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.common import polyethylene_simulator
+from repro.runtime.machines import HPC1_SUNWAY, HPC2_AMD
+from repro.utils.reports import TableFormatter, format_seconds
+
+#: (atoms, ranks_hpc1, ranks_hpc2) per paper caption.
+WEAK_CASES: Tuple[Tuple[int, int, int], ...] = (
+    (30002, 2500, 2048),
+    (60002, 5000, 4096),
+    (117602, 10000, 8192),
+    (200012, 20480, 16384),
+)
+
+
+@dataclass
+class WeakSeries:
+    label: str
+    atoms: List[int]
+    ranks: List[int]
+    cycle_seconds: List[float]
+
+    def efficiencies(self) -> List[float]:
+        """Weak-scaling efficiency vs the first point.
+
+        Work per rank is ~constant across the series (atoms/ranks fixed
+        by construction), so efficiency is simply t_0 / t_i.
+        """
+        base = self.cycle_seconds[0]
+        return [base / t for t in self.cycle_seconds]
+
+
+@dataclass
+class Fig16Result:
+    series: List[WeakSeries]
+
+    def render(self) -> str:
+        t = TableFormatter(
+            ["machine", "atoms", "ranks", "cycle time", "efficiency"],
+            title="Fig 16: weak scaling, H(C2H4)nH",
+        )
+        for s in self.series:
+            for a, p, ct, eff in zip(
+                s.atoms, s.ranks, s.cycle_seconds, s.efficiencies()
+            ):
+                t.add_row([s.label, a, p, format_seconds(ct), f"{eff*100:.1f}%"])
+        return t.render()
+
+
+def run_fig16_weak(
+    cases: Sequence[Tuple[int, int, int]] = WEAK_CASES
+) -> Fig16Result:
+    """Weak scaling on HPC #1, HPC #2 (CPU) and HPC #2 (GPU)."""
+    hpc1 = WeakSeries("HPC#1", [], [], [])
+    hpc2_cpu = WeakSeries("HPC#2 (CPU only)", [], [], [])
+    hpc2_gpu = WeakSeries("HPC#2 (with GPUs)", [], [], [])
+    for atoms, p1, p2 in cases:
+        sim = polyethylene_simulator(atoms)
+        hpc1.atoms.append(atoms)
+        hpc1.ranks.append(p1)
+        hpc1.cycle_seconds.append(sim.run_model(HPC1_SUNWAY, p1).cycle_seconds)
+        hpc2_cpu.atoms.append(atoms)
+        hpc2_cpu.ranks.append(p2)
+        hpc2_cpu.cycle_seconds.append(
+            sim.run_model(HPC2_AMD, p2, use_accelerator=False).cycle_seconds
+        )
+        hpc2_gpu.atoms.append(atoms)
+        hpc2_gpu.ranks.append(p2)
+        hpc2_gpu.cycle_seconds.append(sim.run_model(HPC2_AMD, p2).cycle_seconds)
+    return Fig16Result(series=[hpc1, hpc2_cpu, hpc2_gpu])

@@ -1,0 +1,161 @@
+"""Angular quadrature rules on the unit sphere.
+
+Two families are provided:
+
+* exact octahedral **Lebedev rules** with 6, 14 and 26 points (their
+  weights are simple rationals; exactness degrees 3, 5, 7), used by the
+  "minimal" settings and as golden references in tests;
+* **Gauss-Legendre x uniform-azimuth product rules** for any higher
+  accuracy: ``n_theta`` Gauss-Legendre nodes in cos(theta) crossed with
+  ``2 n_theta`` equally spaced azimuths integrate all spherical
+  harmonics up to degree ``2 n_theta - 1`` exactly.
+
+Weights sum to 4 pi, so ``sum_j w_j f(u_j)`` approximates the surface
+integral over the unit sphere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import GridError
+
+#: Lebedev point counts with hard-coded exact weights.
+AVAILABLE_LEBEDEV: Tuple[int, ...] = (6, 14, 26)
+
+
+@dataclass(frozen=True)
+class AngularRule:
+    """A spherical quadrature rule.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 3)`` unit vectors.
+    weights:
+        ``(n,)`` weights summing to 4 pi.
+    degree:
+        Highest spherical-harmonic degree integrated exactly.
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+    degree: int
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+    def integrate(self, values: np.ndarray) -> np.ndarray:
+        """Surface integral of sampled values (leading axis = points)."""
+        values = np.asarray(values)
+        if values.shape[0] != self.n_points:
+            raise GridError(
+                f"{values.shape[0]} samples for a {self.n_points}-point rule"
+            )
+        return np.tensordot(self.weights, values, axes=(0, 0))
+
+
+def _octahedron_vertices() -> np.ndarray:
+    """The 6 points (+-1, 0, 0) and permutations."""
+    pts = []
+    for axis in range(3):
+        for sign in (1.0, -1.0):
+            v = [0.0, 0.0, 0.0]
+            v[axis] = sign
+            pts.append(v)
+    return np.array(pts)
+
+
+def _cube_vertices() -> np.ndarray:
+    """The 8 points (+-1, +-1, +-1)/sqrt(3)."""
+    s = 1.0 / math.sqrt(3.0)
+    return np.array(
+        [[sx * s, sy * s, sz * s] for sx in (1, -1) for sy in (1, -1) for sz in (1, -1)]
+    )
+
+
+def _cuboctahedron_vertices() -> np.ndarray:
+    """The 12 points (+-1, +-1, 0)/sqrt(2) and permutations."""
+    s = 1.0 / math.sqrt(2.0)
+    pts = []
+    for a in range(3):
+        b = (a + 1) % 3
+        for sa in (1, -1):
+            for sb in (1, -1):
+                v = [0.0, 0.0, 0.0]
+                v[a] = sa * s
+                v[b] = sb * s
+                pts.append(v)
+    return np.array(pts)
+
+
+def _lebedev(n: int) -> AngularRule:
+    four_pi = 4.0 * math.pi
+    if n == 6:
+        pts = _octahedron_vertices()
+        w = np.full(6, four_pi / 6.0)
+        return AngularRule(pts, w, degree=3)
+    if n == 14:
+        pts = np.vstack([_octahedron_vertices(), _cube_vertices()])
+        w = np.concatenate(
+            [np.full(6, four_pi / 15.0), np.full(8, four_pi * 3.0 / 40.0)]
+        )
+        return AngularRule(pts, w, degree=5)
+    if n == 26:
+        pts = np.vstack(
+            [_octahedron_vertices(), _cuboctahedron_vertices(), _cube_vertices()]
+        )
+        w = np.concatenate(
+            [
+                np.full(6, four_pi / 21.0),
+                np.full(12, four_pi * 4.0 / 105.0),
+                np.full(8, four_pi * 9.0 / 280.0),
+            ]
+        )
+        return AngularRule(pts, w, degree=7)
+    raise GridError(f"no hard-coded Lebedev rule with {n} points")
+
+
+def _product_rule(n_theta: int) -> AngularRule:
+    """Gauss-Legendre x uniform azimuth rule, exact to degree 2*n_theta - 1."""
+    if n_theta < 2:
+        raise GridError(f"product rule needs n_theta >= 2, got {n_theta}")
+    nodes, gl_weights = np.polynomial.legendre.leggauss(n_theta)
+    n_phi = 2 * n_theta
+    phi = (np.arange(n_phi) + 0.5) * (2.0 * math.pi / n_phi)
+    cos_t = np.repeat(nodes, n_phi)
+    sin_t = np.sqrt(np.maximum(0.0, 1.0 - cos_t**2))
+    cp = np.tile(np.cos(phi), n_theta)
+    sp = np.tile(np.sin(phi), n_theta)
+    pts = np.stack([sin_t * cp, sin_t * sp, cos_t], axis=1)
+    w = np.repeat(gl_weights, n_phi) * (2.0 * math.pi / n_phi)
+    return AngularRule(pts, w, degree=2 * n_theta - 1)
+
+
+_RULE_CACHE: Dict[int, AngularRule] = {}
+
+
+def angular_rule(min_points: int) -> AngularRule:
+    """Smallest supported rule with at least *min_points* points.
+
+    Lebedev rules are preferred while they suffice; beyond 26 points the
+    product family (50, 72, 98, 128, ... = 2 n_theta^2) takes over.
+    """
+    if min_points < 1:
+        raise GridError(f"min_points must be positive, got {min_points}")
+    if min_points not in _RULE_CACHE:
+        rule = None
+        for n in AVAILABLE_LEBEDEV:
+            if min_points <= n:
+                rule = _lebedev(n)
+                break
+        if rule is None:
+            n_theta = max(2, math.ceil(math.sqrt(min_points / 2.0)))
+            rule = _product_rule(n_theta)
+        _RULE_CACHE[min_points] = rule
+    return _RULE_CACHE[min_points]

@@ -1,0 +1,76 @@
+"""Per-species radial integration shells.
+
+FHI-aims-style radial meshes (Baker et al. mapping): shell *i* of *n*
+sits at
+
+    r(i) = r_outer * log(1 - (i/(n+1))^2) / log(1 - (n/(n+1))^2) ,
+
+dense near the nucleus, with analytically known ``dr/di`` giving the
+radial quadrature weight ``w_i = r_i^2 * dr/di``.  Heavier species get
+more shells (their all-electron densities oscillate near the core).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GridError
+
+
+@dataclass(frozen=True)
+class RadialShells:
+    """Radial integration mesh of one atom.
+
+    Attributes
+    ----------
+    r:
+        Shell radii (Bohr), strictly increasing, excluding the nucleus.
+    weights:
+        ``r^2 dr`` quadrature weights: ``sum_i w_i f(r_i)`` approximates
+        ``int f(r) r^2 dr``.
+    """
+
+    r: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.r.shape[0]
+
+
+def radial_shells_for_species(
+    z: int, n_base: int, r_outer: float = 10.0, multiplier: float = 1.0
+) -> RadialShells:
+    """Build the radial mesh for nuclear charge *z*.
+
+    Parameters
+    ----------
+    z:
+        Nuclear charge; the shell count grows like ``n_base * (1 + 0.4 ln z)``.
+    n_base:
+        Shell count for hydrogen (settings knob ``n_radial_base``).
+    r_outer:
+        Outermost shell radius in Bohr (must cover the basis cutoff).
+    multiplier:
+        Extra scaling of the shell count (settings ``radial_multiplier``).
+    """
+    if n_base < 4:
+        raise GridError(f"n_base must be >= 4, got {n_base}")
+    if r_outer <= 0.0:
+        raise GridError(f"r_outer must be positive, got {r_outer}")
+    n = int(round(n_base * multiplier * (1.0 + 0.4 * math.log(max(z, 1)))))
+    n = max(n, 4)
+
+    i = np.arange(1, n + 1, dtype=float)
+    frac = i / (n + 1.0)
+    scale = r_outer / math.log(1.0 - (n / (n + 1.0)) ** 2)
+    r = scale * np.log(1.0 - frac**2)
+    # dr/di = scale * (-2 i / (n+1)^2) / (1 - frac^2)
+    dr_di = scale * (-2.0 * i / (n + 1.0) ** 2) / (1.0 - frac**2)
+    weights = r**2 * dr_di
+    if np.any(weights < 0.0) or np.any(np.diff(r) <= 0.0):
+        raise GridError("radial mesh construction produced a non-monotone grid")
+    return RadialShells(r=r, weights=weights)

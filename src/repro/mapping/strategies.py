@@ -1,0 +1,154 @@
+"""The two task-mapping strategies of Section 3.1.
+
+* :func:`load_balancing_mapping` — the *existing* scheme: each batch
+  goes to the rank currently owning the fewest grid points, ignoring
+  which atoms the points belong to (Fig. 3(a)).
+* :func:`locality_enhancing_mapping` — the paper's Algorithm 1:
+  recursive bisection of the batch set, splitting ranks in half and
+  batches along the widest-spread coordinate at the grid-point-count
+  pivot, so each rank ends up with spatially adjacent batches
+  (Fig. 3(b)).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.grids.batching import GridBatch
+
+
+@dataclass(frozen=True)
+class BatchAssignment:
+    """Result of a mapping: rank -> batch ids, plus convenience metrics."""
+
+    strategy: str
+    n_ranks: int
+    batches_of_rank: Tuple[Tuple[int, ...], ...]
+
+    def points_per_rank(self, batches: Sequence[GridBatch]) -> np.ndarray:
+        """Grid points owned by each rank."""
+        return np.array(
+            [
+                sum(batches[b].n_points for b in owned)
+                for owned in self.batches_of_rank
+            ],
+            dtype=np.int64,
+        )
+
+    def atoms_per_rank(
+        self, batches: Sequence[GridBatch], use_relevant: bool = True
+    ) -> List[np.ndarray]:
+        """Union of (relevant or owner) atom ids per rank (sorted arrays)."""
+        out: List[np.ndarray] = []
+        empty = np.empty(0, dtype=np.int64)
+        for owned in self.batches_of_rank:
+            parts = [
+                np.asarray(
+                    batches[b].relevant_atoms if use_relevant else batches[b].owner_atoms,
+                    dtype=np.int64,
+                )
+                for b in owned
+            ]
+            out.append(np.unique(np.concatenate(parts)) if parts else empty)
+        return out
+
+    def imbalance(self, batches: Sequence[GridBatch]) -> float:
+        """max/mean point-count ratio (1.0 = perfect balance)."""
+        pts = self.points_per_rank(batches)
+        mean = pts.mean()
+        if mean == 0:
+            raise MappingError("assignment owns no grid points")
+        return float(pts.max() / mean)
+
+
+def _validate(batches: Sequence[GridBatch], n_ranks: int) -> None:
+    if n_ranks < 1:
+        raise MappingError(f"need >= 1 rank, got {n_ranks}")
+    if len(batches) < n_ranks:
+        raise MappingError(
+            f"{len(batches)} batches cannot feed {n_ranks} ranks"
+        )
+
+
+def load_balancing_mapping(
+    batches: Sequence[GridBatch], n_ranks: int
+) -> BatchAssignment:
+    """Existing strategy: greedy least-loaded (by grid points).
+
+    Batches are visited in construction order; ties broken by rank id —
+    deterministic.  Because construction order interleaves space, the
+    batches of one rank end up scattered across the whole system.
+    """
+    _validate(batches, n_ranks)
+    heap: List[Tuple[int, int]] = [(0, r) for r in range(n_ranks)]
+    heapq.heapify(heap)
+    owned: List[List[int]] = [[] for _ in range(n_ranks)]
+    # Visit in an order that interleaves space (round-robin over the
+    # spatially sorted list), mirroring how FHI-aims' batch stream
+    # arrives atom by atom rather than sorted.
+    for b in batches:
+        points, rank = heapq.heappop(heap)
+        owned[rank].append(b.index)
+        heapq.heappush(heap, (points + b.n_points, rank))
+    return BatchAssignment(
+        strategy="load_balancing",
+        n_ranks=n_ranks,
+        batches_of_rank=tuple(tuple(o) for o in owned),
+    )
+
+
+def locality_enhancing_mapping(
+    batches: Sequence[GridBatch], n_ranks: int
+) -> BatchAssignment:
+    """Algorithm 1: locality-enhancing recursive bisection.
+
+    Direct transcription of the paper's pseudo-code: processes are halved
+    (ceil left), batches are projected on the dimension where their
+    centroids spread the largest range, sorted, and split at the pivot
+    ``p`` with ``sum_{i<=p} points_i <= (total points) * |P_l|/|P|`` —
+    generalized from the paper's 1/2 so odd process counts stay balanced.
+    """
+    _validate(batches, n_ranks)
+    centroids = np.array([b.centroid for b in batches])
+    points = np.array([b.n_points for b in batches], dtype=np.int64)
+
+    owned: List[List[int]] = [[] for _ in range(n_ranks)]
+
+    def recurse(rank_lo: int, rank_hi: int, idx: np.ndarray) -> None:
+        n_procs = rank_hi - rank_lo
+        if n_procs == 1:
+            owned[rank_lo].extend(int(i) for i in idx)
+            return
+        if idx.size < n_procs:
+            raise MappingError(
+                f"bisection ran out of batches ({idx.size} for {n_procs} ranks)"
+            )
+        left_procs = (n_procs + 1) // 2  # ceil(n/2), paper line 5
+        # Line 7: dimension of largest centroid spread.
+        sub = centroids[idx]
+        spans = sub.max(axis=0) - sub.min(axis=0)
+        dim = int(np.argmax(spans))
+        # Line 8: sort by projection.
+        order = np.argsort(sub[:, dim], kind="stable")
+        sorted_idx = idx[order]
+        # Lines 9-11: point-count pivot, proportional to |P_l|.
+        cum = np.cumsum(points[sorted_idx])
+        pivot = cum[-1] * left_procs / n_procs
+        p = int(np.searchsorted(cum, pivot, side="right"))
+        # Both sides must receive at least as many batches as ranks.
+        p = max(p, left_procs)
+        p = min(p, idx.size - (n_procs - left_procs))
+        recurse(rank_lo, rank_lo + left_procs, sorted_idx[:p])
+        recurse(rank_lo + left_procs, rank_hi, sorted_idx[p:])
+
+    recurse(0, n_ranks, np.arange(len(batches), dtype=np.int64))
+    return BatchAssignment(
+        strategy="locality_enhancing",
+        n_ranks=n_ranks,
+        batches_of_rank=tuple(tuple(o) for o in owned),
+    )

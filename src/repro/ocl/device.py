@@ -1,0 +1,128 @@
+"""The simulated accelerator: executes kernels, prices every launch.
+
+One :class:`Device` instance models one accelerator (a Sunway core
+group or an AMD GPU).  ``launch`` runs the kernel's real computation
+(if it has one) and returns a :class:`LaunchReport` from the
+performance model; counters accumulate for phase-level reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.ocl.buffers import AddressSpace, DeviceBuffer
+from repro.ocl.kernel import Kernel, LaunchReport, NDRange
+from repro.runtime.machines import AcceleratorSpec
+
+
+class Device:
+    """A priced, executable accelerator model."""
+
+    def __init__(self, spec: AcceleratorSpec) -> None:
+        self.spec = spec
+        self.n_launches = 0
+        self.modeled_time = 0.0
+        self.bytes_transferred = 0
+        self.transfer_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Host <-> device transfers
+    # ------------------------------------------------------------------
+    def to_device(self, buffer: DeviceBuffer, persistent: bool = False) -> DeviceBuffer:
+        """Move a host buffer into __global memory (charged)."""
+        if buffer.space is AddressSpace.GLOBAL:
+            return buffer
+        if persistent and not self.spec.persistent_buffers:
+            raise DeviceError(
+                f"{self.spec.name} cannot keep buffers resident across launches"
+            )
+        self.bytes_transferred += buffer.nbytes
+        self.transfer_time += buffer.nbytes / self.spec.host_bandwidth
+        buffer.space = AddressSpace.GLOBAL
+        buffer.persistent = persistent
+        return buffer
+
+    def from_device(self, buffer: DeviceBuffer) -> DeviceBuffer:
+        """Move a __global buffer back to the host (charged)."""
+        if buffer.space is AddressSpace.HOST:
+            return buffer
+        self.bytes_transferred += buffer.nbytes
+        self.transfer_time += buffer.nbytes / self.spec.host_bandwidth
+        buffer.space = AddressSpace.HOST
+        buffer.persistent = False
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+    def estimate(self, kernel: Kernel, ndrange: NDRange) -> LaunchReport:
+        """Price one launch without executing anything."""
+        if kernel.local_bytes > self.spec.onchip_bytes:
+            raise DeviceError(
+                f"kernel {kernel.name!r} needs {kernel.local_bytes} B of "
+                f"__local memory; {self.spec.name} has {self.spec.onchip_bytes} B"
+            )
+        n_items = ndrange.n_items
+
+        # Compute: items run on compute_units x lanes; a limited
+        # parallel_width idles the remaining lanes of each unit.
+        lanes = self.spec.lanes_per_unit
+        width = kernel.parallel_width
+        active_lanes = lanes if width is None else min(width, lanes)
+        throughput = self.spec.compute_units * active_lanes * self.spec.flop_rate
+        compute_time = kernel.flops_per_item * n_items / throughput
+
+        stream_bytes = n_items * (
+            kernel.bytes_read_per_item + kernel.bytes_written_per_item
+        )
+        stream_time = stream_bytes / self.spec.offchip_bandwidth
+
+        # Indirect accesses: latency-bound gathers, overlapped across
+        # compute units and (on latency-hiding devices) across the
+        # outstanding requests each unit keeps in flight.
+        n_indirect = n_items * kernel.indirect_accesses_per_item
+        concurrency = self.spec.compute_units * self.spec.memory_level_parallelism
+        indirect_time = n_indirect * self.spec.offchip_latency / concurrency
+
+        return LaunchReport(
+            kernel=kernel.name,
+            n_items=n_items,
+            launch_overhead=self.spec.kernel_launch_overhead,
+            compute_time=compute_time,
+            stream_time=stream_time,
+            indirect_time=indirect_time,
+        )
+
+    def launch(
+        self,
+        kernel: Kernel,
+        ndrange: NDRange,
+        buffers: Optional[Dict[str, DeviceBuffer]] = None,
+    ) -> LaunchReport:
+        """Execute (if the kernel has a body) and price one launch."""
+        buffers = buffers or {}
+        for buf in buffers.values():
+            if buf.space is AddressSpace.HOST:
+                raise DeviceError(
+                    f"buffer {buf.name!r} still on host; call to_device() first"
+                )
+        report = self.estimate(kernel, ndrange)
+        if kernel.func is not None:
+            kernel.func(buffers)
+        self.n_launches += 1
+        self.modeled_time += report.total_time
+        return report
+
+    # ------------------------------------------------------------------
+    def rma_supported(self, nbytes: int) -> bool:
+        """Can *nbytes* be shared on-chip via RMA (Section 4.2.1)?"""
+        return 0 < nbytes <= self.spec.rma_max_bytes
+
+    def reset_counters(self) -> None:
+        self.n_launches = 0
+        self.modeled_time = 0.0
+        self.bytes_transferred = 0
+        self.transfer_time = 0.0

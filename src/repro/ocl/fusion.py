@@ -1,0 +1,150 @@
+"""Fusing kernels with wide dependence (Section 4.2).
+
+The response-potential phase launches a *producer* (spline coefficients:
+``rho_multipole_spl``, ``delta_v_hart_part_spl``) and a *consumer*
+(spline-interpolated multipole components at every grid point); every
+consumer thread needs all producer outputs — wide dependence.
+
+* **Vertical fusion** (4.2.1, Sunway): both phases in one kernel, the
+  intermediate held on-chip and exchanged over RMA.  Legal only when it
+  fits the 64 KB RMA window; Fig. 12(a) shows ``delta_v_hart_part_spl``
+  (498 KB) does not, so the paper observes no vertical gain.
+* **Horizontal fusion** (4.2.2, AMD): the g ranks sharing one GPU run
+  identical producers; fusion keeps one producer, leaves the
+  intermediate resident in GPU memory, and merges the g consumers into
+  one launch — eliminating g-1 redundant producers, 2g host transfers
+  and g-1 launch overheads (Fig. 12(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelFusionError
+from repro.ocl.device import Device
+from repro.ocl.kernel import Kernel, NDRange
+
+
+@dataclass
+class FusionReport:
+    """Before/after cost of one fusion decision."""
+
+    mode: str  # "vertical" | "horizontal"
+    applied: bool
+    reason: str
+    time_before: float
+    time_after: float
+
+    @property
+    def speedup(self) -> float:
+        if self.time_after <= 0.0:
+            raise KernelFusionError("fusion produced non-positive time")
+        return self.time_before / self.time_after
+
+
+def vertical_fusion(
+    device: Device,
+    producer: Kernel,
+    producer_range: NDRange,
+    consumer: Kernel,
+    consumer_range: NDRange,
+    intermediate_bytes: int,
+) -> FusionReport:
+    """Fuse producer into consumer on one rank, keeping data on-chip.
+
+    The un-fused pipeline writes the intermediate to off-chip memory and
+    reads it back; the fused kernel holds it on-chip behind a global
+    barrier built on RMA.  If the intermediate exceeds the device's RMA
+    window the fusion is refused (``applied=False``) — the Fig. 12(a)
+    outcome for the 498 KB spline table.
+    """
+    if intermediate_bytes <= 0:
+        raise KernelFusionError(f"intermediate size must be positive, got {intermediate_bytes}")
+    t_prod = device.estimate(producer, producer_range).total_time
+    t_cons = device.estimate(consumer, consumer_range).total_time
+    round_trip = 2.0 * intermediate_bytes / device.spec.offchip_bandwidth
+    before = t_prod + t_cons + round_trip
+
+    if not device.rma_supported(intermediate_bytes):
+        limit = device.spec.rma_max_bytes
+        reason = (
+            f"intermediate ({intermediate_bytes} B) exceeds the RMA window "
+            f"({limit} B)"
+            if limit
+            else "device has no on-chip RMA mechanism"
+        )
+        return FusionReport(
+            mode="vertical",
+            applied=False,
+            reason=reason,
+            time_before=before,
+            time_after=before,
+        )
+
+    # Fused: one launch, no off-chip round trip; the phase barrier costs
+    # one RMA broadcast of the intermediate among compute units.
+    barrier = intermediate_bytes / device.spec.offchip_bandwidth * 0.1
+    after = (
+        t_prod
+        + t_cons
+        - device.spec.kernel_launch_overhead  # one launch instead of two
+        + barrier
+    )
+    return FusionReport(
+        mode="vertical",
+        applied=True,
+        reason="intermediate fits the RMA window; kept on-chip",
+        time_before=before,
+        time_after=after,
+    )
+
+
+def horizontal_fusion(
+    device: Device,
+    producer: Kernel,
+    producer_range: NDRange,
+    consumer: Kernel,
+    consumer_range: NDRange,
+    intermediate_bytes: int,
+    group_size: int,
+) -> FusionReport:
+    """Fuse the kernels of *group_size* ranks sharing this device.
+
+    ``consumer_range`` is one rank's consumer NDRange; the fused
+    consumer executes all g ranks' items in a single launch.
+    """
+    if group_size < 1:
+        raise KernelFusionError(f"group size must be >= 1, got {group_size}")
+    t_prod = device.estimate(producer, producer_range).total_time
+    t_cons = device.estimate(consumer, consumer_range).total_time
+    transfer = 2.0 * intermediate_bytes / device.spec.host_bandwidth
+
+    # Un-fused: every rank launches its own producer + consumer in turn
+    # and ships the intermediate through host memory.
+    before = group_size * (t_prod + t_cons + transfer)
+
+    if not device.spec.persistent_buffers:
+        return FusionReport(
+            mode="horizontal",
+            applied=False,
+            reason="device buffers do not persist across launches",
+            time_before=before,
+            time_after=before,
+        )
+
+    fused_consumer_range = NDRange(
+        n_groups=consumer_range.n_groups * group_size,
+        items_per_group=consumer_range.items_per_group,
+    )
+    t_fused_cons = device.estimate(consumer, fused_consumer_range).total_time
+    after = t_prod + t_fused_cons  # one producer, resident intermediate
+    return FusionReport(
+        mode="horizontal",
+        applied=True,
+        reason=(
+            f"1 producer serves {group_size} fused consumers; intermediate "
+            "resides in device memory"
+        ),
+        time_before=before,
+        time_after=after,
+    )

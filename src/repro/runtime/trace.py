@@ -1,0 +1,131 @@
+"""Per-rank execution timelines for one modeled CPSCF cycle.
+
+The phase model prices the critical-path (max-loaded) rank; this module
+expands a cycle into per-rank intervals — grid-phase times scale with
+each rank's actual point share, collectives synchronize everyone — and
+reports utilization, imbalance and an ASCII Gantt chart.  The
+"straggler" view that motivates load balancing in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+#: Phases that scale with a rank's grid-point share.
+POINT_SCALED_PHASES = ("Sumup", "Rho", "H")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One rank's occupation of one phase."""
+
+    rank: int
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CycleTrace:
+    """All intervals of one cycle across all ranks."""
+
+    n_ranks: int
+    intervals: List[Interval]
+
+    @property
+    def span(self) -> float:
+        """Wall-clock length of the cycle (max end time)."""
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def busy_time(self, rank: int) -> float:
+        return sum(iv.duration for iv in self.intervals if iv.rank == rank)
+
+    def utilization(self) -> float:
+        """Mean busy fraction across ranks (1.0 = no idle time)."""
+        span = self.span
+        if span <= 0.0:
+            return 1.0
+        total_busy = sum(iv.duration for iv in self.intervals)
+        return total_busy / (span * self.n_ranks)
+
+    def imbalance(self) -> float:
+        """Max/mean busy-time ratio."""
+        busy = np.array([self.busy_time(r) for r in range(self.n_ranks)])
+        mean = busy.mean()
+        if mean <= 0.0:
+            raise ExperimentError("trace has no work")
+        return float(busy.max() / mean)
+
+    def phase_spans(self) -> Dict[str, float]:
+        """Wall-clock occupied by each phase (across all ranks)."""
+        out: Dict[str, float] = {}
+        for iv in self.intervals:
+            lo, hi = out.get(iv.phase, (np.inf, 0.0)) if iv.phase in out else (iv.start, iv.end)
+            out[iv.phase] = (min(lo, iv.start), max(hi, iv.end))  # type: ignore
+        return {k: v[1] - v[0] for k, v in out.items()}
+
+    def render_ascii(self, width: int = 72, max_ranks: int = 8) -> str:
+        """Gantt chart: one row per rank, one letter per phase."""
+        span = self.span
+        if span <= 0.0:
+            return "(empty trace)"
+        letters = {}
+        rows = []
+        shown = min(self.n_ranks, max_ranks)
+        for r in range(shown):
+            row = [" "] * width
+            for iv in self.intervals:
+                if iv.rank != r:
+                    continue
+                letter = letters.setdefault(iv.phase, iv.phase[0])
+                lo = int(iv.start / span * (width - 1))
+                hi = max(lo + 1, int(np.ceil(iv.end / span * (width - 1))))
+                for c in range(lo, min(hi, width)):
+                    row[c] = letter
+            rows.append(f"rank {r:4d} |{''.join(row)}|")
+        if self.n_ranks > shown:
+            rows.append(f"... ({self.n_ranks - shown} more ranks)")
+        legend = "  ".join(f"{v}={k}" for k, v in letters.items())
+        return "\n".join(rows + [f"legend: {legend}  span={span:.3g}s"])
+
+
+def trace_cycle(
+    per_cycle_seconds: Dict[str, float],
+    points_per_rank: Sequence[int],
+) -> CycleTrace:
+    """Expand modeled per-cycle phase times into per-rank timelines.
+
+    ``per_cycle_seconds`` holds the critical-path times (max-loaded
+    rank); each rank's grid phases shrink proportionally to its point
+    share, ``DM`` is uniform, and ``Comm`` is a synchronizing collective
+    entered only when every rank finished the compute phases.
+    """
+    points = np.asarray(points_per_rank, dtype=float)
+    if points.size == 0 or points.max() <= 0:
+        raise ExperimentError("need positive per-rank point counts")
+    share = points / points.max()
+    n_ranks = points.shape[0]
+
+    intervals: List[Interval] = []
+    ends = np.zeros(n_ranks)
+    for phase in ("DM", "Sumup", "Rho", "H"):
+        t_max = per_cycle_seconds.get(phase, 0.0)
+        for r in range(n_ranks):
+            t = t_max * (share[r] if phase in POINT_SCALED_PHASES else 1.0)
+            intervals.append(Interval(r, phase, ends[r], ends[r] + t))
+            ends[r] += t
+    # Collective: everyone waits for the slowest, then communicates.
+    barrier = float(ends.max())
+    t_comm = per_cycle_seconds.get("Comm", 0.0)
+    for r in range(n_ranks):
+        intervals.append(Interval(r, "Comm", barrier, barrier + t_comm))
+    return CycleTrace(n_ranks=n_ranks, intervals=intervals)

@@ -1,0 +1,20 @@
+"""Shared utilities: timing, structured reports, small linear-algebra helpers."""
+
+from repro.utils.timing import Stopwatch, PhaseTimer
+from repro.utils.reports import TableFormatter, format_bytes, format_seconds
+from repro.utils.linalg import (
+    symmetrize,
+    lowdin_orthogonalization,
+    solve_generalized_eigenproblem,
+)
+
+__all__ = [
+    "Stopwatch",
+    "PhaseTimer",
+    "TableFormatter",
+    "format_bytes",
+    "format_seconds",
+    "symmetrize",
+    "lowdin_orthogonalization",
+    "solve_generalized_eigenproblem",
+]

@@ -1,0 +1,72 @@
+"""Plain-text report formatting shared by examples and the bench harness.
+
+The paper's figures are reproduced as printed series; these helpers keep
+the output uniform (fixed-width tables, human-readable byte/second units).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with binary units, e.g. ``21373.0 KB``-style.
+
+    Values are shown in the largest unit that keeps the mantissa >= 1.
+    """
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024.0 or unit == "TB":
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(s: float) -> str:
+    """Render seconds with an adaptive unit (us/ms/s/min)."""
+    if s < 0:
+        raise ValueError(f"negative duration: {s}")
+    if s < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.2f} ms"
+    if s < 120.0:
+        return f"{s:.3f} s"
+    return f"{s / 60.0:.2f} min"
+
+
+class TableFormatter:
+    """Fixed-width text tables for experiment output.
+
+    >>> t = TableFormatter(["a", "b"])
+    >>> t.add_row([1, "x"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [str(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Wall-clock timing helpers used by the SCF/CPSCF drivers and benchmarks.
+
+Two levels are provided:
+
+* :class:`Stopwatch` — a context-manager around one measurement.
+* :class:`PhaseTimer` — named, accumulating phase timings mirroring the
+  per-phase breakdown the paper's artifact extracts from its output file
+  (``DM`` / ``Sumup`` / ``Rho`` / ``H`` / ``Comm``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+class PhaseTimer:
+    """Accumulate wall time per named phase across repeated visits.
+
+    The same phase may be entered many times (once per SCF/CPSCF cycle);
+    totals and visit counts accumulate.
+    """
+
+    def __init__(self) -> None:
+        self._totals: "OrderedDict[str, float]" = OrderedDict()
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one visit of *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float, visits: int = 1) -> None:
+        """Record externally-measured (e.g. model-predicted) time."""
+        if seconds < 0.0:
+            raise ValueError(f"negative phase time for {name!r}: {seconds}")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + visits
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds for one phase (0.0 if never visited)."""
+        return self._totals.get(name, 0.0)
+
+    def visits(self, name: str) -> int:
+        """Number of recorded visits for one phase."""
+        return self._counts.get(name, 0)
+
+    @property
+    def grand_total(self) -> float:
+        """Sum over all phases."""
+        return sum(self._totals.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase name -> accumulated seconds, in first-seen order."""
+        return dict(self._totals)
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's totals into this one."""
+        for name, seconds in other._totals.items():
+            self.add(name, seconds, visits=other._counts.get(name, 1))

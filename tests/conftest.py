@@ -1,0 +1,32 @@
+"""Shared fixtures: expensive physics objects built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atoms import hydrogen_molecule, water
+from repro.config import get_settings
+from repro.dft import SCFDriver
+
+
+@pytest.fixture(scope="session")
+def minimal_settings():
+    return get_settings("minimal")
+
+
+@pytest.fixture(scope="session")
+def h2_ground_state(minimal_settings):
+    """Converged H2 ground state (minimal settings)."""
+    return SCFDriver(hydrogen_molecule(), minimal_settings).run()
+
+
+@pytest.fixture(scope="session")
+def water_ground_state(minimal_settings):
+    """Converged H2O ground state (minimal settings)."""
+    return SCFDriver(water(), minimal_settings).run()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20230712)

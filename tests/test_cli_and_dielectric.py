@@ -1,0 +1,86 @@
+"""CLI subcommands and the dielectric-properties module."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.dfpt.dielectric import (
+    clausius_mossotti_dielectric,
+    polarizability_anisotropy,
+    refractive_index,
+)
+
+
+class TestDielectric:
+    def test_dilute_limit_is_vacuum(self):
+        alpha = np.eye(3) * 10.0
+        eps = clausius_mossotti_dielectric(alpha, molecular_volume=1e9)
+        assert eps == pytest.approx(1.0, abs=1e-6)
+
+    def test_water_like_refractive_index(self):
+        # alpha ~ 9.8 a.u., volume per molecule ~ 30 A^3 ~ 202 Bohr^3.
+        alpha = np.eye(3) * 9.8
+        n = refractive_index(alpha, 202.0)
+        assert 1.2 < n < 1.5  # optical n of water ~ 1.33
+
+    def test_monotone_in_density(self):
+        alpha = np.eye(3) * 9.8
+        eps_dense = clausius_mossotti_dielectric(alpha, 150.0)
+        eps_dilute = clausius_mossotti_dielectric(alpha, 400.0)
+        assert eps_dense > eps_dilute
+
+    def test_polarization_catastrophe_raises(self):
+        with pytest.raises(ValueError, match="pole"):
+            clausius_mossotti_dielectric(np.eye(3) * 100.0, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clausius_mossotti_dielectric(np.eye(3), -1.0)
+        with pytest.raises(ValueError):
+            clausius_mossotti_dielectric(-np.eye(3), 10.0)
+
+    def test_anisotropy_zero_for_isotropic(self):
+        assert polarizability_anisotropy(np.eye(3) * 5.0) == pytest.approx(0.0)
+
+    def test_anisotropy_axial(self):
+        alpha = np.diag([4.0, 4.0, 7.0])
+        assert polarizability_anisotropy(alpha) == pytest.approx(3.0)
+
+    def test_anisotropy_shape_check(self):
+        with pytest.raises(ValueError):
+            polarizability_anisotropy(np.eye(2))
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Sunway" in out and "MI50" in out
+
+    def test_physics_on_geometry_file(self, tmp_path, capsys):
+        from repro.atoms import hydrogen_molecule, write_geometry_in
+
+        path = tmp_path / "geometry.in"
+        write_geometry_in(hydrogen_molecule(), path)
+        assert main(["physics", str(path), "--level", "minimal"]) == 0
+        out = capsys.readouterr().out
+        assert "polarizability" in out and "SCF converged" in out
+
+    def test_model_polyethylene(self, capsys):
+        assert main([
+            "model", "--polyethylene", "602", "--machine", "hpc2",
+            "--ranks", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out and "memory/rank" in out
+
+    def test_model_baseline_flag(self, capsys):
+        assert main([
+            "model", "--polyethylene", "602", "--machine", "hpc1",
+            "--ranks", "8", "--baseline",
+        ]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["model"])

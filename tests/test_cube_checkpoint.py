@@ -1,0 +1,88 @@
+"""Cube export/import and SCF checkpointing."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.atoms import hydrogen_molecule, water
+from repro.dft.checkpoint import (
+    CheckpointError,
+    geometry_fingerprint,
+    load_ground_state_arrays,
+    save_ground_state,
+)
+from repro.dft.cube import cube_grid, export_density_cube, read_cube, write_cube
+from repro.dft.density import density_on_grid
+from repro.errors import GridError
+
+
+class TestCube:
+    def test_grid_covers_molecule(self):
+        origin, points, shape = cube_grid(water(), spacing=0.8, padding=2.0)
+        lo, hi = water().bounding_box()
+        assert np.all(points.min(axis=0) <= lo)
+        assert np.all(points.max(axis=0) >= hi)
+        assert points.shape == (shape[0] * shape[1] * shape[2], 3)
+
+    def test_roundtrip(self):
+        w = water()
+        origin, points, shape = cube_grid(w, spacing=1.5, padding=1.0)
+        values = np.exp(-np.linalg.norm(points, axis=1))
+        buf = io.StringIO()
+        write_cube(buf, w, values, origin, shape, 1.5, comment="test")
+        buf.seek(0)
+        back_structure, back_values, back_origin, back_shape, back_spacing = read_cube(buf)
+        assert back_structure.symbols == w.symbols
+        assert back_shape == shape
+        assert back_spacing == pytest.approx(1.5)
+        assert np.allclose(back_values.ravel(), values, rtol=1e-4)
+
+    def test_export_real_density(self, h2_ground_state):
+        gs = h2_ground_state
+
+        def density_fn(points):
+            phi = gs.basis.evaluate(points)
+            return np.einsum("pi,pi->p", phi @ gs.density_matrix, phi)
+
+        buf = io.StringIO()
+        shape = export_density_cube(buf, gs.structure, density_fn, spacing=1.0)
+        _, values, *_ = read_cube(io.StringIO(buf.getvalue()))
+        assert values.shape == shape
+        assert values.max() > 0.01  # density peaks at the nuclei
+
+    def test_bad_density_fn_shape(self):
+        with pytest.raises(GridError):
+            export_density_cube(
+                io.StringIO(), water(), lambda pts: np.zeros((3, 3)), spacing=2.0
+            )
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            cube_grid(water(), spacing=0.0)
+
+
+class TestCheckpoint:
+    def test_fingerprint_sensitive_to_geometry(self):
+        a = geometry_fingerprint(hydrogen_molecule())
+        b = geometry_fingerprint(hydrogen_molecule(bond_length=1.5))
+        c = geometry_fingerprint(hydrogen_molecule())
+        assert a != b and a == c
+
+    def test_save_load_roundtrip(self, h2_ground_state, tmp_path):
+        path = tmp_path / "h2.npz"
+        save_ground_state(path, h2_ground_state)
+        data = load_ground_state_arrays(path, h2_ground_state.structure)
+        assert data["total_energy"] == pytest.approx(h2_ground_state.total_energy)
+        assert np.allclose(data["density_matrix"], h2_ground_state.density_matrix)
+        assert np.allclose(data["eigenvalues"], h2_ground_state.eigenvalues)
+
+    def test_wrong_geometry_rejected(self, h2_ground_state, tmp_path):
+        path = tmp_path / "h2.npz"
+        save_ground_state(path, h2_ground_state)
+        with pytest.raises(CheckpointError, match="different geometry"):
+            load_ground_state_arrays(path, water())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_ground_state_arrays(tmp_path / "nope.npz", water())

@@ -1,0 +1,102 @@
+"""DFPT: the library's central physics claim — response theory is exact
+to first order, validated against finite-field references."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import hydrogen_molecule, water
+from repro.config import CPSCFSettings
+from repro.dfpt import (
+    DFPTSolver,
+    finite_difference_polarizability,
+    isotropic_polarizability,
+    polarizability_tensor,
+)
+from repro.dft import SCFDriver
+from repro.errors import CPSCFConvergenceError
+
+
+class TestResponseCycle:
+    def test_converges_for_h2(self, h2_ground_state):
+        solver = DFPTSolver(h2_ground_state)
+        result = solver.solve_direction(2)
+        assert result.iterations >= 2
+        assert result.residual < 1e-6
+
+    def test_direction_validation(self, h2_ground_state):
+        with pytest.raises(ValueError):
+            DFPTSolver(h2_ground_state).solve_direction(3)
+
+    def test_response_density_integrates_to_zero(self, h2_ground_state):
+        """A homogeneous field conserves charge: int n^(1) = 0."""
+        result = DFPTSolver(h2_ground_state).solve_direction(2)
+        total = h2_ground_state.grid.integrate(result.response_density)
+        assert total == pytest.approx(0.0, abs=1e-6)
+
+    def test_response_dm_symmetric(self, h2_ground_state):
+        result = DFPTSolver(h2_ground_state).solve_direction(0)
+        p1 = result.response_density_matrix
+        assert np.allclose(p1, p1.T)
+
+    def test_nonconvergence_raises(self, h2_ground_state):
+        settings = CPSCFSettings(max_iterations=1, response_tolerance=1e-14)
+        with pytest.raises(CPSCFConvergenceError):
+            DFPTSolver(h2_ground_state, settings).solve_direction(0)
+
+    def test_solve_all_returns_three(self, h2_ground_state):
+        results = DFPTSolver(h2_ground_state).solve_all()
+        assert [r.direction for r in results] == [0, 1, 2]
+
+
+class TestPolarizability:
+    def test_h2_dfpt_matches_finite_difference(self, h2_ground_state, minimal_settings):
+        alpha = polarizability_tensor(h2_ground_state, minimal_settings.cpscf)
+        driver = SCFDriver(hydrogen_molecule(), minimal_settings)
+        alpha_fd = finite_difference_polarizability(
+            hydrogen_molecule(), minimal_settings, driver=driver
+        )
+        assert np.allclose(alpha, alpha_fd, atol=5e-4)
+
+    def test_h2_symmetry(self, h2_ground_state, minimal_settings):
+        alpha = polarizability_tensor(h2_ground_state, minimal_settings.cpscf)
+        # Axial molecule along z: alpha_xx == alpha_yy, off-diagonals ~ 0.
+        assert alpha[0, 0] == pytest.approx(alpha[1, 1], rel=1e-6)
+        off = alpha - np.diag(np.diag(alpha))
+        assert np.abs(off).max() < 1e-6
+        # Parallel component exceeds perpendicular for H2.
+        assert alpha[2, 2] > alpha[0, 0]
+
+    def test_h2_positive_definite(self, h2_ground_state, minimal_settings):
+        alpha = polarizability_tensor(h2_ground_state, minimal_settings.cpscf)
+        assert np.linalg.eigvalsh(alpha).min() > 0.0
+
+    def test_h2_magnitude_physical(self, h2_ground_state, minimal_settings):
+        alpha = polarizability_tensor(h2_ground_state, minimal_settings.cpscf)
+        iso = isotropic_polarizability(alpha)
+        # Experimental ~5.2 a.u.; minimal model lands within ~30%.
+        assert 3.0 < iso < 7.0
+
+    def test_water_dfpt_matches_finite_difference(
+        self, water_ground_state, minimal_settings
+    ):
+        alpha = polarizability_tensor(water_ground_state, minimal_settings.cpscf)
+        driver = SCFDriver(water(), minimal_settings)
+        alpha_fd = finite_difference_polarizability(
+            water(), minimal_settings, driver=driver
+        )
+        assert np.allclose(alpha, alpha_fd, atol=1e-3)
+
+    def test_water_magnitude_physical(self, water_ground_state, minimal_settings):
+        alpha = polarizability_tensor(water_ground_state, minimal_settings.cpscf)
+        iso = isotropic_polarizability(alpha)
+        assert 7.0 < iso < 13.0  # expt ~9.8 a.u.
+
+    def test_isotropic_validation(self):
+        with pytest.raises(ValueError):
+            isotropic_polarizability(np.zeros((2, 2)))
+
+    def test_fd_step_validation(self, minimal_settings):
+        with pytest.raises(ValueError):
+            finite_difference_polarizability(
+                hydrogen_molecule(), minimal_settings, step=0.0
+            )

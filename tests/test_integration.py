@@ -1,0 +1,96 @@
+"""Cross-module integration: the full Fig. 1 cycle and model pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import hydrogen_molecule, methane
+from repro.config import get_settings
+from repro.dfpt import DFPTSolver, polarizability_anisotropy
+from repro.dft import MatrixBuilder, SCFDriver
+from repro.experiments import run_fig14_overall, run_fig15b_time_per_cycle
+
+
+class TestPhysicsConsistency:
+    def test_hartree_solver_consistent_with_direct_coulomb(self, h2_ground_state):
+        """Multipole v_H reproduces the direct double-sum Coulomb energy."""
+        gs = h2_ground_state
+        w = gs.grid.weights
+        pts = gs.grid.points
+        n = gs.density
+        v_h = gs.solver.hartree_potential(n)
+        e_multipole = 0.5 * float(np.sum(w * n * v_h))
+
+        # Direct O(N^2) reference on the same quadrature (diagonal
+        # excluded; its contribution is part of quadrature error).
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.linalg.norm(diff, axis=2)
+        np.fill_diagonal(dist, np.inf)
+        e_direct = 0.5 * float((w * n) @ (1.0 / dist) @ (w * n))
+        assert e_multipole == pytest.approx(e_direct, rel=0.05)
+
+    def test_virial_ratio_reasonable(self, water_ground_state):
+        """-V/T ~ 2 for a near-variational all-electron solution."""
+        gs = water_ground_state
+        t = gs.energy_components["kinetic"]
+        v = (
+            gs.energy_components["external"]
+            + gs.energy_components["hartree"]
+            + gs.energy_components["xc"]
+            + gs.energy_components["nuclear"]
+        )
+        assert 1.8 < -v / t < 2.2
+
+    def test_koopmans_scale(self, water_ground_state):
+        """HOMO eigenvalue ~ -(IP): water IP ~ 12.6 eV; LDA underestimates."""
+        homo_ev = water_ground_state.eigenvalues[4] * 27.2114
+        assert -16.0 < homo_ev < -4.0
+
+    def test_methane_isotropy(self, minimal_settings):
+        """Td symmetry: polarizability tensor ~ isotropic."""
+        gs = SCFDriver(methane(), minimal_settings).run()
+        solver = DFPTSolver(gs, minimal_settings.cpscf)
+        alpha = np.empty((3, 3))
+        for j in range(3):
+            alpha[:, j] = solver.solve_direction(j).polarizability_column(gs.dipoles)
+        assert polarizability_anisotropy(alpha) < 0.05 * np.trace(alpha) / 3
+
+    def test_response_potential_linear_in_field(self, h2_ground_state):
+        """P^(1) along +z equals -P^(1) along -z by linearity (via x/y/z)."""
+        solver = DFPTSolver(h2_ground_state)
+        rz = solver.solve_direction(2)
+        # Reverse-field response equals the negative (linearity).
+        h1 = -h2_ground_state.dipoles[2]
+        _, _, p1 = solver._first_order_dm(-h1)
+        _, _, p1_pos = solver._first_order_dm(h1)
+        assert np.allclose(p1, -p1_pos, atol=1e-12)
+        assert rz.response_density_matrix.shape == p1.shape
+
+
+class TestModelPipeline:
+    def test_fig14_small_case(self):
+        result = run_fig14_overall(cases=(("RBD/64@HPC1", "rbd", "hpc1", 64),))
+        case = result.cases[0]
+        assert case.overall_speedup > 1.5
+        assert case.before.memory_per_rank_bytes > case.after.memory_per_rank_bytes
+        assert "TOTAL" in result.render()
+
+    def test_fig15b_cycle_under_a_minute(self):
+        result = run_fig15b_time_per_cycle(cases=((15002, 1024),))
+        _, _, phases, total = result.rows[0]
+        assert total < 60.0
+        assert set(phases) == {"DM", "Sumup", "Rho", "H", "Comm"}
+
+
+class TestBuilderReuse:
+    def test_matrix_builder_accepts_prebuilt_batches(self, minimal_settings):
+        from repro.basis import build_basis
+        from repro.grids import build_batches, build_grid
+
+        h2 = hydrogen_molecule()
+        basis = build_basis(h2)
+        grid = build_grid(h2, minimal_settings.grids, with_partition=True)
+        batches = build_batches(grid)
+        builder = MatrixBuilder(basis, grid, batches=batches)
+        s = builder.overlap()
+        builder2 = MatrixBuilder(basis, grid)
+        assert np.allclose(s, builder2.overlap(), atol=1e-12)

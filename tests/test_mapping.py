@@ -1,0 +1,144 @@
+"""Task-mapping strategies (Alg. 1), memory model and spline counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atoms import polyethylene, rbd_like_protein, water
+from repro.config import get_settings
+from repro.core.workload import build_workload, synthetic_batches
+from repro.errors import MappingError
+from repro.grids import attach_relevant_atoms, build_batches, build_grid
+from repro.mapping import (
+    HamiltonianMemoryModel,
+    atom_basis_counts,
+    atom_cutoffs_light,
+    load_balancing_mapping,
+    locality_enhancing_mapping,
+    spline_counts_per_rank,
+)
+
+
+@pytest.fixture(scope="module")
+def chain_batches():
+    """Synthetic batches for a 602-atom polyethylene chain."""
+    structure = polyethylene(100)
+    workload = build_workload(structure, get_settings("light"))
+    return structure, synthetic_batches(workload)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 7, 16, 64])
+    def test_both_strategies_partition_all_batches(self, chain_batches, n_ranks):
+        _, batches = chain_batches
+        for fn in (load_balancing_mapping, locality_enhancing_mapping):
+            a = fn(batches, n_ranks)
+            owned = [b for r in a.batches_of_rank for b in r]
+            assert sorted(owned) == list(range(len(batches)))
+            assert a.n_ranks == n_ranks
+
+    @given(n_ranks=st.integers(1, 32))
+    @settings(max_examples=15, deadline=None)
+    def test_partition_property(self, chain_batches, n_ranks):
+        _, batches = chain_batches
+        a = locality_enhancing_mapping(batches, n_ranks)
+        owned = sorted(b for r in a.batches_of_rank for b in r)
+        assert owned == list(range(len(batches)))
+
+    def test_load_balancing_is_balanced(self, chain_batches):
+        _, batches = chain_batches
+        a = load_balancing_mapping(batches, 16)
+        assert a.imbalance(batches) < 1.1
+
+    def test_locality_is_balanced(self, chain_batches):
+        _, batches = chain_batches
+        a = locality_enhancing_mapping(batches, 16)
+        assert a.imbalance(batches) < 1.25
+
+    def test_locality_reduces_atoms_per_rank(self, chain_batches):
+        structure, batches = chain_batches
+        a_ex = load_balancing_mapping(batches, 16)
+        a_lo = locality_enhancing_mapping(batches, 16)
+        ex_atoms = np.mean([len(s) for s in a_ex.atoms_per_rank(batches)])
+        lo_atoms = np.mean([len(s) for s in a_lo.atoms_per_rank(batches)])
+        assert lo_atoms < 0.5 * ex_atoms
+
+    def test_locality_ranks_are_contiguous_along_chain(self, chain_batches):
+        """Each rank's batch centroids should span a short chain segment."""
+        structure, batches = chain_batches
+        a = locality_enhancing_mapping(batches, 8)
+        chain_length = structure.coords[:, 0].max() - structure.coords[:, 0].min()
+        for owned in a.batches_of_rank:
+            xs = [batches[b].centroid[0] for b in owned]
+            assert max(xs) - min(xs) < 0.35 * chain_length
+
+    def test_more_ranks_than_batches_rejected(self, chain_batches):
+        _, batches = chain_batches
+        with pytest.raises(MappingError):
+            locality_enhancing_mapping(batches, len(batches) + 1)
+        with pytest.raises(MappingError):
+            load_balancing_mapping(batches, 0)
+
+
+class TestMemoryModel:
+    def test_per_atom_tables(self):
+        w = water()
+        cut = atom_cutoffs_light(w)
+        counts = atom_basis_counts(w)
+        assert cut.shape == (3,) and np.all(cut > 0)
+        assert counts.tolist() == [11, 5, 5]
+
+    def test_global_csr_constant_across_strategies(self, chain_batches):
+        structure, batches = chain_batches
+        model = HamiltonianMemoryModel(structure)
+        a_ex = load_balancing_mapping(batches, 8)
+        per_rank = model.per_rank_bytes(a_ex, batches)
+        assert np.all(per_rank == per_rank[0])
+        assert per_rank[0] == model.global_sparse_csr_bytes()
+
+    def test_locality_memory_much_smaller_and_scales_down(self, chain_batches):
+        structure, batches = chain_batches
+        model = HamiltonianMemoryModel(structure)
+        csr = model.global_sparse_csr_bytes()
+        prev = None
+        for p in (4, 8, 16):
+            a = locality_enhancing_mapping(batches, p)
+            dense = model.per_rank_bytes(a, batches)
+            assert dense.mean() < csr
+            if prev is not None:
+                assert dense.mean() < prev
+            prev = dense.mean()
+
+    def test_nnz_at_least_diagonal_blocks(self):
+        w = water()
+        model = HamiltonianMemoryModel(w)
+        diag = sum(int(c) ** 2 for c in atom_basis_counts(w))
+        assert model.global_sparse_nnz() >= diag
+
+    def test_dense_local_formula(self, chain_batches):
+        structure, batches = chain_batches
+        model = HamiltonianMemoryModel(structure)
+        a = locality_enhancing_mapping(batches, 4)
+        dense = model.dense_local_bytes(a, batches)
+        atoms = a.atoms_per_rank(batches)
+        counts = atom_basis_counts(structure)
+        for r in range(4):
+            n_loc = int(counts[np.asarray(list(atoms[r]), dtype=int)].sum())
+            assert dense[r] == 8 * n_loc * n_loc
+
+
+class TestSplineModel:
+    def test_locality_reduces_spline_counts(self, chain_batches):
+        structure, batches = chain_batches
+        a_ex = load_balancing_mapping(batches, 16)
+        a_lo = locality_enhancing_mapping(batches, 16)
+        sp_ex = spline_counts_per_rank(a_ex, batches, structure)
+        sp_lo = spline_counts_per_rank(a_lo, batches, structure)
+        assert sp_lo.mean() < 0.5 * sp_ex.mean()
+
+    def test_counts_bounded_by_atom_total(self, chain_batches):
+        structure, batches = chain_batches
+        a = load_balancing_mapping(batches, 4)
+        sp = spline_counts_per_rank(a, batches, structure)
+        assert np.all(sp <= structure.n_atoms)
+        assert np.all(sp >= 1)

@@ -1,0 +1,136 @@
+"""Property-based tests of Algorithm 1 on random 3-D point clouds.
+
+The chain tests in test_mapping.py cover the paper's geometry; these
+verify the invariants hold for arbitrary (globular, anisotropic,
+clustered) batch clouds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grids.batching import GridBatch
+from repro.mapping.strategies import (
+    load_balancing_mapping,
+    locality_enhancing_mapping,
+)
+
+
+def _random_batches(rng: np.random.Generator, n: int, clustered: bool) -> list:
+    if clustered:
+        n_clusters = max(2, n // 20)
+        centers = rng.uniform(-50, 50, size=(n_clusters, 3))
+        which = rng.integers(0, n_clusters, size=n)
+        pos = centers[which] + rng.normal(scale=2.0, size=(n, 3))
+    else:
+        pos = rng.uniform(-50, 50, size=(n, 3))
+    points = rng.integers(50, 300, size=n)
+    return [
+        GridBatch(
+            index=i,
+            point_indices=np.empty(int(points[i]), dtype=np.int64),
+            centroid=pos[i],
+            radius=2.0,
+            owner_atoms=(i % max(1, n // 4),),
+            relevant_atoms=(i % max(1, n // 4),),
+        )
+        for i in range(n)
+    ]
+
+
+class TestAlgorithm1Properties:
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(16, 200),
+        ranks=st.sampled_from([2, 3, 4, 7, 8, 16]),
+        clustered=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_and_balance(self, seed, n, ranks, clustered):
+        rng = np.random.default_rng(seed)
+        batches = _random_batches(rng, n, clustered)
+        a = locality_enhancing_mapping(batches, ranks)
+        # Exact partition.
+        owned = sorted(b for r in a.batches_of_rank for b in r)
+        assert owned == list(range(n))
+        # Every rank owns at least one batch.
+        assert all(len(r) >= 1 for r in a.batches_of_rank)
+        # Point balance within a factor of ~3 even adversarially
+        # (pivot splits by points with batch granularity).
+        pts = a.points_per_rank(batches)
+        assert pts.max() <= 3.5 * max(pts.mean(), 1.0)
+
+    @given(seed=st.integers(0, 10_000), ranks=st.sampled_from([4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_locality_beats_scatter_spatially(self, seed, ranks):
+        """Per-rank centroid spread: Algorithm 1 << least-loaded."""
+        rng = np.random.default_rng(seed)
+        batches = _random_batches(rng, 120, clustered=False)
+
+        def mean_spread(assignment):
+            spreads = []
+            for owned in assignment.batches_of_rank:
+                pos = np.array([batches[b].centroid for b in owned])
+                spreads.append(np.linalg.norm(pos - pos.mean(0), axis=1).mean())
+            return float(np.mean(spreads))
+
+        s_lo = mean_spread(locality_enhancing_mapping(batches, ranks))
+        s_ex = mean_spread(load_balancing_mapping(batches, ranks))
+        assert s_lo < s_ex
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        batches = _random_batches(rng, 64, clustered=True)
+        a1 = locality_enhancing_mapping(batches, 8)
+        a2 = locality_enhancing_mapping(batches, 8)
+        assert a1.batches_of_rank == a2.batches_of_rank
+
+
+class TestModelInvariants:
+    """Cost-model sanity that must hold for any calibration."""
+
+    def test_allreduce_cost_monotone_in_everything(self):
+        from repro.runtime import CommCostModel, HPC1_SUNWAY, HPC2_AMD
+
+        for machine in (HPC1_SUNWAY, HPC2_AMD):
+            cost = CommCostModel(machine)
+            assert cost.allreduce(1024, 2**20) > cost.allreduce(1024, 2**10)
+            assert cost.allreduce(4096, 2**20) > cost.allreduce(256, 2**20)
+            assert cost.allreduce(1, 2**20) == 0.0
+
+    def test_device_estimate_additive_in_items(self):
+        from repro.ocl import Device, Kernel, NDRange
+        from repro.runtime import HPC2_AMD
+
+        dev = Device(HPC2_AMD.accelerator)
+        k = Kernel("k", flops_per_item=1e4, bytes_read_per_item=32)
+        t1 = dev.estimate(k, NDRange(100, 64))
+        t2 = dev.estimate(k, NDRange(200, 64))
+        # Compute+stream double; launch overhead does not.
+        assert t2.compute_time == pytest.approx(2 * t1.compute_time)
+        assert t2.stream_time == pytest.approx(2 * t1.stream_time)
+        assert t2.launch_overhead == t1.launch_overhead
+
+    def test_dense_local_crossover(self):
+        """Dense-local memory shrinks with ranks and beats the replicated
+        CSR once ranks are numerous — at very low rank counts a rank's
+        local block can legitimately exceed the sparse global matrix
+        (which is exactly why the paper needs many ranks + locality)."""
+        from repro.atoms import polyethylene
+        from repro.config import get_settings
+        from repro.core.workload import build_workload, synthetic_batches
+        from repro.mapping import HamiltonianMemoryModel
+
+        structure = polyethylene(60)
+        workload = build_workload(structure, get_settings("light"))
+        batches = synthetic_batches(workload)
+        model = HamiltonianMemoryModel(structure)
+        csr = model.global_sparse_csr_bytes()
+        maxima = []
+        for ranks in (2, 5, 13):
+            a = locality_enhancing_mapping(batches, ranks)
+            maxima.append(int(model.dense_local_bytes(a, batches).max()))
+        assert maxima[0] > maxima[1] > maxima[2]  # shrinks with ranks
+        assert maxima[-1] < csr / 5  # clear win once ranks are plentiful

@@ -1,0 +1,216 @@
+"""OpenCL device model: buffers, launches, transforms, fusion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceError, KernelFusionError
+from repro.ocl import (
+    AddressSpace,
+    Device,
+    DeviceBuffer,
+    Kernel,
+    NDRange,
+    apply_gather_map,
+    build_gather_map,
+    collapse_kernel,
+    collapse_pm_loop,
+    eliminate_indirect_accesses,
+    expand_pm_index,
+    horizontal_fusion,
+    vertical_fusion,
+)
+from repro.runtime import HPC1_SUNWAY, HPC2_AMD
+
+
+@pytest.fixture
+def sunway():
+    return Device(HPC1_SUNWAY.accelerator)
+
+
+@pytest.fixture
+def mi50():
+    return Device(HPC2_AMD.accelerator)
+
+
+class TestNDRangeAndKernel:
+    def test_ndrange_items(self):
+        nd = NDRange(10, 64)
+        assert nd.n_items == 640
+
+    def test_ndrange_validation(self):
+        with pytest.raises(DeviceError):
+            NDRange(0, 1)
+
+    def test_kernel_with_updates(self):
+        k = Kernel("a", flops_per_item=10)
+        k2 = k.with_updates(flops_per_item=20)
+        assert k.flops_per_item == 10 and k2.flops_per_item == 20
+
+
+class TestDevice:
+    def test_launch_executes_real_function(self, mi50):
+        data = DeviceBuffer("x", np.arange(8.0))
+        mi50.to_device(data)
+        k = Kernel("double", func=lambda bufs: bufs["x"].data.__imul__(2.0))
+        mi50.launch(k, NDRange(1, 8), {"x": data})
+        assert np.array_equal(data.data, np.arange(8.0) * 2)
+        assert mi50.n_launches == 1
+
+    def test_launch_rejects_host_buffers(self, mi50):
+        data = DeviceBuffer("x", np.zeros(4))
+        with pytest.raises(DeviceError, match="still on host"):
+            mi50.launch(Kernel("k"), NDRange(1, 4), {"x": data})
+
+    def test_transfer_accounting(self, mi50):
+        buf = DeviceBuffer("x", np.zeros(1024))
+        mi50.to_device(buf)
+        assert buf.space is AddressSpace.GLOBAL
+        assert mi50.bytes_transferred == 8192
+        mi50.from_device(buf)
+        assert mi50.bytes_transferred == 16384
+        assert mi50.transfer_time > 0
+
+    def test_persistent_requires_support(self, sunway):
+        buf = DeviceBuffer("x", np.zeros(4))
+        with pytest.raises(DeviceError):
+            sunway.to_device(buf, persistent=True)
+
+    def test_local_memory_capacity_checked(self, mi50):
+        k = Kernel("big", local_bytes=10**9)
+        with pytest.raises(DeviceError, match="__local"):
+            mi50.estimate(k, NDRange(1, 64))
+
+    def test_cost_scales_with_items(self, mi50):
+        k = Kernel("k", flops_per_item=1000, bytes_read_per_item=64)
+        t1 = mi50.estimate(k, NDRange(10, 64)).total_time
+        t2 = mi50.estimate(k, NDRange(100, 64)).total_time
+        assert t2 > t1
+
+    def test_limited_width_slower(self, mi50):
+        full = Kernel("k", flops_per_item=1e5)
+        narrow = full.with_updates(parallel_width=8)
+        nd = NDRange(64, 64)
+        assert mi50.estimate(narrow, nd).compute_time > mi50.estimate(full, nd).compute_time
+
+    def test_rma_window(self, sunway, mi50):
+        assert sunway.rma_supported(28 * 1024)
+        assert not sunway.rma_supported(498 * 1024)
+        assert not mi50.rma_supported(1024)  # GPUs have no RMA mechanism
+
+    def test_reset_counters(self, mi50):
+        mi50.to_device(DeviceBuffer("x", np.zeros(4)))
+        mi50.reset_counters()
+        assert mi50.bytes_transferred == 0 and mi50.n_launches == 0
+
+
+class TestCollapseTransform:
+    @given(p_max=st.integers(0, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_bijection_with_original_nest(self, p_max):
+        """Collapsed enumeration == the original (p, m in [-p, p]) nest."""
+        table = collapse_pm_loop(p_max)
+        expected = [(p, m) for p in range(p_max + 1) for m in range(-p, p + 1)]
+        assert [tuple(r) for r in table] == expected
+
+    @given(p=st.integers(0, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_expand_inverts_collapse(self, p):
+        for m in range(-p, p + 1):
+            idx = expand_pm_index(p, m)
+            table = collapse_pm_loop(p)
+            assert tuple(table[idx]) == (p, m)
+
+    def test_expand_validation(self):
+        with pytest.raises(DeviceError):
+            expand_pm_index(1, 2)
+
+    def test_collapse_kernel_widens(self):
+        k = Kernel("am", flops_per_item=10, parallel_width=10)
+        kc = collapse_kernel(k, 9)
+        assert kc.parallel_width == 100
+
+    def test_collapse_requires_limited_width(self):
+        with pytest.raises(DeviceError):
+            collapse_kernel(Kernel("k"), 9)
+
+
+class TestGatherMap:
+    def test_matches_indirect_access(self, rng):
+        a = rng.normal(size=(50, 3))
+        b = rng.integers(0, 50, size=120)
+        c = build_gather_map(a, b)
+        i = rng.integers(0, 120, size=30)
+        assert np.array_equal(apply_gather_map(c, i), a[b][i])
+
+    def test_bounds_checked(self):
+        with pytest.raises(DeviceError):
+            build_gather_map(np.zeros(5), np.array([5]))
+        with pytest.raises(DeviceError):
+            build_gather_map(np.zeros(5), np.zeros((2, 2), dtype=int))
+
+    def test_eliminate_updates_kernel_model(self):
+        k = Kernel("init", indirect_accesses_per_item=4, bytes_read_per_item=48)
+        kd = eliminate_indirect_accesses(k)
+        assert kd.indirect_accesses_per_item == 0
+        assert kd.bytes_read_per_item > k.bytes_read_per_item
+
+    def test_eliminate_requires_indirect(self):
+        with pytest.raises(DeviceError):
+            eliminate_indirect_accesses(Kernel("k"))
+
+
+class TestFusion:
+    def _kernels(self):
+        prod = Kernel("prod", flops_per_item=1e5, bytes_written_per_item=32)
+        cons = Kernel("cons", flops_per_item=1e4, bytes_read_per_item=64)
+        return prod, cons
+
+    def test_vertical_applies_within_rma(self, sunway):
+        prod, cons = self._kernels()
+        rep = vertical_fusion(sunway, prod, NDRange(8, 49), cons, NDRange(32, 200), 28 * 1024)
+        assert rep.applied and rep.speedup > 1.0
+
+    def test_vertical_refused_beyond_rma(self, sunway):
+        prod, cons = self._kernels()
+        rep = vertical_fusion(sunway, prod, NDRange(8, 49), cons, NDRange(32, 200), 498 * 1024)
+        assert not rep.applied
+        assert rep.speedup == pytest.approx(1.0)
+        assert "RMA" in rep.reason
+
+    def test_vertical_refused_without_rma(self, mi50):
+        prod, cons = self._kernels()
+        rep = vertical_fusion(mi50, prod, NDRange(8, 49), cons, NDRange(32, 200), 1024)
+        assert not rep.applied
+
+    def test_horizontal_applies_on_gpu(self, mi50):
+        prod, cons = self._kernels()
+        rep = horizontal_fusion(
+            mi50, prod, NDRange(8, 49), cons, NDRange(32, 200), 498 * 1024, group_size=8
+        )
+        assert rep.applied and rep.speedup > 1.0
+
+    def test_horizontal_refused_without_persistence(self, sunway):
+        prod, cons = self._kernels()
+        rep = horizontal_fusion(
+            sunway, prod, NDRange(8, 49), cons, NDRange(32, 200), 1024, group_size=8
+        )
+        assert not rep.applied
+
+    def test_horizontal_gain_grows_when_producer_dominates(self, mi50):
+        prod = Kernel("prod", flops_per_item=1e6)
+        cons = Kernel("cons", flops_per_item=1e3)
+        small_cons = horizontal_fusion(
+            mi50, prod, NDRange(64, 49), cons, NDRange(4, 64), 1024, group_size=8
+        )
+        big_cons = horizontal_fusion(
+            mi50, prod, NDRange(64, 49), cons, NDRange(4096, 64), 1024, group_size=8
+        )
+        assert small_cons.speedup > big_cons.speedup
+
+    def test_validation(self, mi50):
+        prod, cons = self._kernels()
+        with pytest.raises(KernelFusionError):
+            vertical_fusion(mi50, prod, NDRange(1, 1), cons, NDRange(1, 1), 0)
+        with pytest.raises(KernelFusionError):
+            horizontal_fusion(mi50, prod, NDRange(1, 1), cons, NDRange(1, 1), 8, group_size=0)

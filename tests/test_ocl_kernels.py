@@ -1,0 +1,105 @@
+"""The executable OpenCL DFPT kernels must match the direct pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.dfpt.response import DFPTSolver
+from repro.dft.density import density_on_grid
+from repro.ocl.device import Device
+from repro.ocl.kernels import OpenCLDFPTKernels, OpenCLResponsePipeline
+from repro.runtime import HPC1_SUNWAY, HPC2_AMD
+
+
+@pytest.fixture(scope="module", params=["hpc1", "hpc2"])
+def device(request):
+    spec = (HPC1_SUNWAY if request.param == "hpc1" else HPC2_AMD).accelerator
+    return Device(spec)
+
+
+@pytest.fixture(scope="module")
+def kernels(h2_ground_state):
+    return OpenCLDFPTKernels(h2_ground_state, Device(HPC2_AMD.accelerator))
+
+
+class TestKernelEquivalence:
+    def test_sumup_matches_direct(self, h2_ground_state, kernels, rng):
+        p1 = rng.normal(size=(h2_ground_state.basis.n_basis,) * 2)
+        p1 = p1 + p1.T
+        n1_kernel = kernels.response_density(p1)
+        n1_direct = density_on_grid(h2_ground_state.builder, p1)
+        assert np.allclose(n1_kernel, n1_direct, atol=1e-12)
+
+    def test_h1_matches_direct(self, h2_ground_state, kernels, rng):
+        v1 = rng.normal(size=h2_ground_state.grid.n_points)
+        h1_kernel = kernels.response_hamiltonian(v1)
+        h1_direct = h2_ground_state.builder.potential_matrix(v1)
+        assert np.allclose(h1_kernel, h1_direct, atol=1e-10)
+
+    def test_rho_matches_direct(self, h2_ground_state, kernels):
+        n1 = h2_ground_state.density - h2_ground_state.density.mean()
+        v_kernel = kernels.response_potential(n1)
+        v_direct = h2_ground_state.solver.hartree_potential(n1)
+        assert np.allclose(v_kernel, v_direct, atol=1e-12)
+
+    def test_dm_matches_reference(self, h2_ground_state, kernels, rng):
+        ref = DFPTSolver(h2_ground_state)
+        h1 = rng.normal(size=(h2_ground_state.basis.n_basis,) * 2)
+        h1 = h1 + h1.T
+        p1_kernel = kernels.response_density_matrix(
+            h1, ref._inv_gaps, ref._c_occ, ref._c_virt, ref._f_occ
+        )
+        _, _, p1_direct = ref._first_order_dm(h1)
+        assert np.allclose(p1_kernel, p1_direct, atol=1e-12)
+
+    def test_launch_accounting(self, h2_ground_state):
+        device = Device(HPC2_AMD.accelerator)
+        k = OpenCLDFPTKernels(h2_ground_state, device)
+        k.response_density(np.zeros((h2_ground_state.basis.n_basis,) * 2))
+        assert device.n_launches == 1
+        assert k.total_modeled_time > 0.0
+        assert device.bytes_transferred > 0
+
+
+class TestPipeline:
+    def test_one_iteration_matches_solver_step(self, h2_ground_state):
+        """Starting from P1=0, one OpenCL cycle equals the solver's first
+        unmixed update."""
+        pipeline = OpenCLResponsePipeline(h2_ground_state)
+        p1_ocl = pipeline.iterate(
+            np.zeros((h2_ground_state.basis.n_basis,) * 2), direction=2
+        )
+
+        ref = DFPTSolver(h2_ground_state)
+        h1_ext = -h2_ground_state.dipoles[2]
+        _, _, p1_ref = ref._first_order_dm(h1_ext)
+        # With P1 = 0, n1 = 0, so v1 = 0 and H1 = h1_ext exactly.
+        assert np.allclose(p1_ocl, p1_ref, atol=1e-10)
+
+    def test_fixed_point_is_converged_response(self, h2_ground_state):
+        """Iterating the OpenCL pipeline with mixing converges to the
+        same P^(1) as the reference solver."""
+        pipeline = OpenCLResponsePipeline(h2_ground_state)
+        nb = h2_ground_state.basis.n_basis
+        p1 = np.zeros((nb, nb))
+        for _ in range(30):
+            p1_new = pipeline.iterate(p1, direction=2)
+            if np.abs(p1_new - p1).max() < 1e-8:
+                p1 = p1_new
+                break
+            p1 = p1 + 0.5 * (p1_new - p1)
+        ref = DFPTSolver(h2_ground_state).solve_direction(2)
+        assert np.allclose(p1, ref.response_density_matrix, atol=1e-5)
+
+    def test_direction_validation(self, h2_ground_state):
+        from repro.errors import DeviceError
+
+        pipeline = OpenCLResponsePipeline(h2_ground_state)
+        with pytest.raises(DeviceError):
+            pipeline.iterate(np.zeros((2, 2)), direction=5)
+
+    def test_runs_on_both_device_presets(self, h2_ground_state, device):
+        pipeline = OpenCLResponsePipeline(h2_ground_state, device)
+        nb = h2_ground_state.basis.n_basis
+        p1 = pipeline.iterate(np.zeros((nb, nb)), direction=0)
+        assert p1.shape == (nb, nb)
+        assert np.allclose(p1, p1.T)

@@ -1,0 +1,227 @@
+"""Extension features: smearing, LSDA/UKS, vibrations, Raman, collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.atoms import Structure, hydrogen_molecule
+from repro.dft.occupations import (
+    aufbau_occupations,
+    fermi_occupations,
+    smearing_entropy,
+)
+from repro.dft.uks import UKSDriver
+from repro.dft.xc import lda_exchange_correlation
+from repro.dft.xc_spin import lsda_exchange_correlation, lsda_energy_density
+from repro.errors import CommunicationError, SCFConvergenceError
+from repro.runtime.algorithms import (
+    rabenseifner_allreduce,
+    recursive_doubling_allreduce,
+    ring_allreduce,
+)
+
+#: The minimal-model H2 equilibrium bond (Bohr), found by PES scan.
+H2_MODEL_BOND = 1.5449
+
+
+class TestOccupations:
+    def test_aufbau_integer(self):
+        eps = np.array([-1.0, -0.5, 0.1, 0.3])
+        f = aufbau_occupations(eps, 4)
+        assert f.tolist() == [2.0, 2.0, 0.0, 0.0]
+
+    def test_aufbau_fractional_frontier(self):
+        f = aufbau_occupations(np.array([-1.0, -0.5]), 3)
+        assert f.tolist() == [2.0, 1.0]
+
+    def test_aufbau_unsorted_input(self):
+        eps = np.array([0.3, -1.0, 0.1, -0.5])
+        f = aufbau_occupations(eps, 4)
+        assert f.tolist() == [0.0, 2.0, 0.0, 2.0]
+
+    def test_aufbau_overfull_raises(self):
+        with pytest.raises(SCFConvergenceError):
+            aufbau_occupations(np.array([-1.0]), 4)
+
+    def test_fermi_conserves_electrons(self):
+        eps = np.linspace(-1.0, 1.0, 20)
+        f, mu = fermi_occupations(eps, 13.0, width=0.05)
+        assert f.sum() == pytest.approx(13.0, abs=1e-10)
+        assert eps.min() < mu < eps.max()
+
+    def test_fermi_zero_width_is_aufbau(self):
+        eps = np.array([-1.0, -0.5, 0.1])
+        f, _ = fermi_occupations(eps, 4, width=0.0)
+        assert f.tolist() == [2.0, 2.0, 0.0]
+
+    def test_fermi_degenerate_states_share(self):
+        eps = np.array([-1.0, 0.0, 0.0])
+        f, _ = fermi_occupations(eps, 3.0, width=0.01)
+        assert f[1] == pytest.approx(f[2], rel=1e-9)
+        assert f[1] == pytest.approx(0.5, abs=1e-6)
+
+    @given(ne=st.floats(0.5, 7.5), width=st.floats(1e-3, 0.2))
+    @hyp_settings(max_examples=30, deadline=None)
+    def test_fermi_conservation_property(self, ne, width):
+        eps = np.linspace(-2.0, 2.0, 8)
+        f, _ = fermi_occupations(eps, ne, width=width)
+        assert f.sum() == pytest.approx(ne, abs=1e-9)
+        assert np.all(f >= 0) and np.all(f <= 2.0)
+
+    def test_entropy_nonnegative_and_zero_for_integers(self):
+        assert smearing_entropy(np.array([2.0, 0.0]), 0.05) == pytest.approx(0.0, abs=1e-8)
+        s = smearing_entropy(np.array([1.0, 1.0]), 0.05)
+        assert s < 0.0  # -T*S lowers the free energy
+
+
+class TestLSDA:
+    def test_reduces_to_lda_for_closed_shell(self):
+        n = np.linspace(0.01, 2.0, 30)
+        res_lda = lda_exchange_correlation(n)
+        res_lsda = lsda_exchange_correlation(n / 2, n / 2)
+        assert np.allclose(res_lsda.exc, res_lda.exc, rtol=1e-6)
+        assert np.allclose(res_lsda.vxc_up, res_lda.vxc, rtol=1e-4)
+
+    def test_polarized_exchange_deeper(self):
+        n = np.array([0.5])
+        para = lsda_energy_density(n / 2, n / 2)
+        ferro = lsda_energy_density(n, np.zeros(1))
+        assert ferro[0] < para[0]  # full polarization lowers exchange
+
+    def test_spin_symmetry(self):
+        a, b = np.array([0.3]), np.array([0.1])
+        r1 = lsda_exchange_correlation(a, b)
+        r2 = lsda_exchange_correlation(b, a)
+        assert r1.exc[0] == pytest.approx(r2.exc[0])
+        assert r1.vxc_up[0] == pytest.approx(r2.vxc_dn[0], rel=1e-6)
+
+    def test_zero_density_safe(self):
+        r = lsda_exchange_correlation(np.zeros(3), np.zeros(3))
+        assert np.all(r.exc == 0) and np.all(r.vxc_up == 0)
+
+
+class TestUKS:
+    def test_hydrogen_atom_lsda(self, minimal_settings):
+        h = Structure(["H"], np.zeros((1, 3)), name="H atom")
+        gs = UKSDriver(h, minimal_settings).run()
+        # LSDA reference: -0.4787 Ha.
+        assert gs.total_energy == pytest.approx(-0.4787, abs=0.01)
+        assert gs.spin_moment == pytest.approx(1.0)
+
+    def test_h2_singlet_matches_rks(self, minimal_settings, h2_ground_state):
+        gs = UKSDriver(hydrogen_molecule(), minimal_settings).run()
+        assert gs.spin_moment == 0.0
+        assert gs.total_energy == pytest.approx(
+            h2_ground_state.total_energy, abs=5e-3
+        )
+
+    def test_incompatible_multiplicity_rejected(self, minimal_settings):
+        with pytest.raises(SCFConvergenceError):
+            UKSDriver(hydrogen_molecule(), minimal_settings, multiplicity=2)
+
+    def test_triplet_h2_above_singlet(self, minimal_settings):
+        singlet = UKSDriver(hydrogen_molecule(), minimal_settings).run()
+        triplet = UKSDriver(
+            hydrogen_molecule(), minimal_settings, multiplicity=3
+        ).run()
+        assert triplet.total_energy > singlet.total_energy
+        assert triplet.spin_moment == pytest.approx(2.0)
+
+
+@pytest.fixture(scope="module")
+def h2_modes(minimal_settings):
+    from repro.dfpt.vibrations import normal_modes
+
+    return normal_modes(hydrogen_molecule(H2_MODEL_BOND), minimal_settings)
+
+
+class TestVibrations:
+    def test_h2_stretch_frequency(self, h2_modes):
+        vib = h2_modes.vibrational_frequencies(n_rigid=5)
+        assert vib.shape == (1,)
+        # Minimal model at its own equilibrium: the stretch should land
+        # in the physical ballpark of H2 (expt 4161 cm^-1).
+        assert 2500.0 < vib[0] < 6500.0
+
+    def test_rigid_modes_below_stretch(self, h2_modes):
+        freqs = np.abs(h2_modes.frequencies_cm1)
+        vib = h2_modes.vibrational_frequencies(n_rigid=5)[0]
+        # Translations are clean (< 2% of the stretch); rotations pick
+        # up spurious stiffness from the finite angular grid breaking
+        # rotational invariance, but stay well below the stretch.
+        assert np.sort(freqs)[:3].max() < 0.02 * vib
+        assert freqs[:5].max() < 0.6 * vib
+
+    def test_hessian_symmetric(self, h2_modes):
+        h = h2_modes.hessian
+        assert np.allclose(h, h.T, atol=1e-10)
+
+    def test_step_validation(self, minimal_settings):
+        from repro.dfpt.vibrations import finite_difference_hessian
+
+        with pytest.raises(ValueError):
+            finite_difference_hessian(hydrogen_molecule(), minimal_settings, step=0.0)
+
+
+class TestRaman:
+    def test_h2_stretch_is_raman_active(self, minimal_settings, h2_modes):
+        from repro.dfpt.raman import raman_spectrum
+
+        rs = raman_spectrum(
+            hydrogen_molecule(H2_MODEL_BOND), h2_modes, minimal_settings, n_rigid=5
+        )
+        assert rs.activities.shape == (1,)
+        assert rs.activities[0] > 0.0  # homonuclear stretch: Raman active
+        assert rs.dominant_mode() == 0
+
+
+class TestCollectiveAlgorithms:
+    @pytest.mark.parametrize(
+        "fn", [ring_allreduce, recursive_doubling_allreduce, rabenseifner_allreduce]
+    )
+    def test_matches_direct_sum(self, fn, rng):
+        data = [rng.normal(size=53) for _ in range(8)]
+        ref = np.sum(data, axis=0)
+        out, log = fn(data)
+        assert len(out) == 8
+        for o in out:
+            assert np.allclose(o, ref, atol=1e-10)
+        assert log.messages > 0
+
+    def test_ring_handles_odd_rank_counts(self, rng):
+        data = [rng.normal(size=20) for _ in range(5)]
+        out, _ = ring_allreduce(data)
+        assert np.allclose(out[3], np.sum(data, axis=0), atol=1e-10)
+
+    def test_power_of_two_required(self, rng):
+        data = [rng.normal(size=4) for _ in range(6)]
+        with pytest.raises(CommunicationError):
+            recursive_doubling_allreduce(data)
+        with pytest.raises(CommunicationError):
+            rabenseifner_allreduce(data)
+
+    def test_round_counts(self, rng):
+        data = [rng.normal(size=64) for _ in range(8)]
+        _, ring_log = ring_allreduce(data)
+        _, rd_log = recursive_doubling_allreduce(data)
+        _, rab_log = rabenseifner_allreduce(data)
+        assert ring_log.rounds == 2 * (8 - 1)
+        assert rd_log.rounds == 3
+        assert rab_log.rounds == 6
+
+    def test_rabenseifner_moves_less_than_doubling(self, rng):
+        """The reduce-scatter pattern's bandwidth advantage."""
+        data = [rng.normal(size=1024) for _ in range(16)]
+        _, rd_log = recursive_doubling_allreduce(data)
+        _, rab_log = rabenseifner_allreduce(data)
+        assert rab_log.bytes_sent < rd_log.bytes_sent
+
+    @given(p=st.sampled_from([2, 4, 8]), n=st.integers(8, 64))
+    @hyp_settings(max_examples=15, deadline=None)
+    def test_all_algorithms_agree_property(self, p, n):
+        rng = np.random.default_rng(p * 1000 + n)
+        data = [rng.normal(size=n) for _ in range(p)]
+        ref = np.sum(data, axis=0)
+        for fn in (ring_allreduce, recursive_doubling_allreduce, rabenseifner_allreduce):
+            out, _ = fn(data)
+            assert np.allclose(out[0], ref, atol=1e-9)

@@ -1,0 +1,76 @@
+"""Stratmann partition weights."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import hydrogen_molecule, water
+from repro.errors import GridError
+from repro.grids.stratmann import STRATMANN_A, stratmann_switch, stratmann_weights
+
+
+class TestSwitch:
+    def test_endpoints_and_saturation(self):
+        assert stratmann_switch(np.array([-STRATMANN_A]))[0] == pytest.approx(-1.0)
+        assert stratmann_switch(np.array([STRATMANN_A]))[0] == pytest.approx(1.0)
+        assert stratmann_switch(np.array([5.0]))[0] == 1.0  # exact saturation
+        assert stratmann_switch(np.array([-5.0]))[0] == -1.0
+
+    def test_odd_function(self, rng):
+        mu = rng.uniform(-1, 1, 50)
+        assert np.allclose(stratmann_switch(mu), -stratmann_switch(-mu))
+
+    def test_monotone(self):
+        mu = np.linspace(-1.2, 1.2, 200)
+        g = stratmann_switch(mu)
+        assert np.all(np.diff(g) >= -1e-12)
+
+
+class TestWeights:
+    def test_partition_of_unity(self, rng):
+        w = water()
+        pts = rng.normal(size=(40, 3)) * 1.5
+        total = sum(stratmann_weights(w, pts, a) for a in range(3))
+        assert np.allclose(total, 1.0, atol=1e-10)
+
+    def test_exact_compact_support(self):
+        """Near one nucleus, the other atom's weight is exactly zero —
+        the property Becke weights lack."""
+        h2 = hydrogen_molecule()
+        near0 = h2.coords[0] + np.array([[0.0, 0.0, -0.02]])
+        w1 = stratmann_weights(h2, near0, 1)
+        assert w1[0] == 0.0  # exact zero, not just small
+        w0 = stratmann_weights(h2, near0, 0)
+        assert w0[0] == 1.0
+
+    def test_midpoint_symmetric(self):
+        h2 = hydrogen_molecule()
+        mid = 0.5 * (h2.coords[0] + h2.coords[1])[None, :]
+        assert stratmann_weights(h2, mid, 0)[0] == pytest.approx(0.5)
+
+    def test_single_atom(self):
+        h = hydrogen_molecule().subset([0])
+        assert stratmann_weights(h, np.ones((1, 3)), 0)[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            stratmann_weights(water(), np.zeros((1, 3)), 7)
+
+    def test_integration_agrees_with_becke(self, minimal_settings):
+        """Both partitions integrate a smooth function to the same value."""
+        from repro.grids import build_grid
+
+        w = water()
+        grid = build_grid(w, minimal_settings.grids)
+        val = np.zeros(grid.n_points)
+        for c in w.coords:
+            val += np.exp(-((grid.points - c) ** 2).sum(axis=1))
+
+        weights_s = np.empty(grid.n_points)
+        for atom in range(3):
+            sel = grid.atom_index == atom
+            weights_s[sel] = stratmann_weights(w, grid.points[sel], atom)
+        total_s = float(np.sum(grid.quadrature_weights * weights_s * val))
+
+        grid.compute_partition_weights()
+        total_b = float(np.sum(grid.weights * val))
+        assert total_s == pytest.approx(total_b, rel=5e-3)

@@ -1,0 +1,60 @@
+"""Per-rank cycle timelines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runtime import CycleTrace, Interval, trace_cycle
+
+PHASES = {"DM": 1.0, "Sumup": 2.0, "Rho": 1.0, "H": 2.0, "Comm": 0.5}
+
+
+class TestTraceCycle:
+    def test_balanced_ranks_fully_utilized(self):
+        trace = trace_cycle(PHASES, [100, 100, 100, 100])
+        assert trace.utilization() == pytest.approx(1.0)
+        assert trace.imbalance() == pytest.approx(1.0)
+        assert trace.span == pytest.approx(sum(PHASES.values()))
+
+    def test_imbalanced_ranks_idle(self):
+        trace = trace_cycle(PHASES, [100, 50])
+        assert trace.utilization() < 1.0
+        assert trace.imbalance() > 1.0
+        # The light rank's grid phases are half as long.
+        sumup = {iv.rank: iv.duration for iv in trace.intervals if iv.phase == "Sumup"}
+        assert sumup[1] == pytest.approx(0.5 * sumup[0])
+
+    def test_dm_uniform_across_ranks(self):
+        trace = trace_cycle(PHASES, [100, 25])
+        dm = {iv.rank: iv.duration for iv in trace.intervals if iv.phase == "DM"}
+        assert dm[0] == pytest.approx(dm[1])
+
+    def test_comm_synchronizes(self):
+        trace = trace_cycle(PHASES, [100, 10])
+        comm = [iv for iv in trace.intervals if iv.phase == "Comm"]
+        starts = {iv.start for iv in comm}
+        assert len(starts) == 1  # everyone enters together
+        compute_end = max(
+            iv.end for iv in trace.intervals if iv.phase != "Comm"
+        )
+        assert comm[0].start == pytest.approx(compute_end)
+
+    def test_render_ascii(self):
+        trace = trace_cycle(PHASES, [100, 60, 30])
+        art = trace.render_ascii(width=40)
+        assert "rank    0" in art and "legend:" in art
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            trace_cycle(PHASES, [])
+        with pytest.raises(ExperimentError):
+            trace_cycle(PHASES, [0, 0])
+
+    def test_empty_phases(self):
+        trace = CycleTrace(n_ranks=2, intervals=[])
+        assert trace.span == 0.0
+        assert trace.render_ascii() == "(empty trace)"
+
+    def test_interval_duration(self):
+        iv = Interval(0, "DM", 1.0, 3.5)
+        assert iv.duration == pytest.approx(2.5)
