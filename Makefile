@@ -1,0 +1,18 @@
+# Convenience entry points; all targets assume the in-tree layout
+# (src/ on PYTHONPATH, no install needed).
+
+PYTHON ?= python
+
+.PHONY: test chaos smoke
+
+# Tier-1: the fast default profile (chaos sweeps deselected via addopts).
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Full randomized fault-injection sweeps.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest -m chaos -q
+
+# Just the fault/resilience smoke subset (also part of `make test`).
+smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_faults.py

@@ -6,6 +6,7 @@ results out):
     python -m repro physics geometry.in --level minimal
     python -m repro model geometry.in --machine hpc2 --ranks 2048
     python -m repro model --polyethylene 30002 --machine hpc1 --ranks 4096 --baseline
+    python -m repro chaos --seed 2023 --machine hpc2 --ranks 8
     python -m repro info
 """
 
@@ -79,6 +80,35 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.atoms import hydrogen_molecule, water
+    from repro.runtime.faults import FaultRates
+    from repro.testing.chaos import run_chaos
+
+    structure = water() if args.molecule == "water" else hydrogen_molecule()
+    rates = None
+    if args.corruption_rate or args.straggler_rate or args.cycle_fault_rate:
+        rates = FaultRates(
+            message_corruption=args.corruption_rate,
+            straggler=args.straggler_rate,
+            cycle_fault=args.cycle_fault_rate,
+        )
+    print(f"Running chaos harness on {structure} (seed={args.seed})")
+    report = run_chaos(
+        structure=structure,
+        level=args.level,
+        seed=args.seed,
+        machine=machine_by_name(args.machine),
+        n_ranks=args.ranks,
+        rates=rates,
+    )
+    print(report.summary())
+    if not report.bit_exact:
+        print("FAILED: faulted run diverged from the fault-free reference")
+        return 1
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     for machine in (HPC1_SUNWAY, HPC2_AMD):
         acc = machine.accelerator
@@ -126,6 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_model.add_argument("--cpu-only", action="store_true",
                          help="HPC#2 without its GPUs (Figs. 15-16 variant)")
     p_model.set_defaults(func=_cmd_model)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection run with bit-exact recovery check"
+    )
+    p_chaos.add_argument("--seed", type=int, default=2023)
+    p_chaos.add_argument("--machine", default="hpc2", choices=["hpc1", "hpc2"])
+    p_chaos.add_argument("--ranks", type=int, default=8)
+    p_chaos.add_argument("--molecule", default="h2", choices=["h2", "water"])
+    p_chaos.add_argument("--level", default="minimal",
+                         choices=["minimal", "light", "tight"])
+    p_chaos.add_argument("--corruption-rate", type=float, default=0.0,
+                         help="per-collective corruption probability")
+    p_chaos.add_argument("--straggler-rate", type=float, default=0.0,
+                         help="per-collective straggler probability")
+    p_chaos.add_argument("--cycle-fault-rate", type=float, default=0.0,
+                         help="per-SCF/CPSCF-cycle fault probability")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_info = sub.add_parser("info", help="show the machine presets")
     p_info.set_defaults(func=_cmd_info)

@@ -1,0 +1,106 @@
+"""Graceful degradation of the reduction schemes under faults.
+
+:class:`ResilientReduction` wraps an ordered ladder of
+:class:`~repro.comm.schemes.ReductionScheme`\\ s — by default
+``packed_hierarchical -> packed -> baseline`` (the hierarchical rung is
+skipped on machines without shared-memory windows).  Transient faults
+are absorbed inside :class:`~repro.runtime.simmpi.SimComm` by retry +
+backoff; only *persistent* failures surface here, as
+:class:`~repro.errors.CollectiveTimeoutError` (a collective that never
+recovers) or :class:`~repro.errors.ShmCorruptionError` (a damaged
+shared window).  The wrapper then falls back one rung and redoes the
+reduction, recording the degradation path in the cluster's
+:class:`~repro.runtime.simmpi.CommStats` — which is exactly what the
+chaos suite asserts on.
+
+Bit-exactness note: the packed and baseline rungs accumulate in the
+same rank-ascending order, so degrading between them cannot change a
+single bit of the result.  The hierarchical rung reassociates the sum
+(node-wise first), so a degradation *from* it reproduces the flat
+schemes' bits instead — still deterministic for a fixed fault plan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.schemes import (
+    BaselineRowwiseAllreduce,
+    PackedAllreduce,
+    PackedHierarchicalAllreduce,
+    ReductionReport,
+    ReductionScheme,
+)
+from repro.errors import (
+    CollectiveTimeoutError,
+    CommunicationError,
+    RankFailureError,
+    ShmCorruptionError,
+)
+from repro.runtime.machines import MachineSpec
+from repro.runtime.simmpi import SimCluster
+
+#: Failures that justify degrading to a simpler scheme (anything else
+#: is a programming error and propagates).
+DEGRADABLE_FAULTS = (CollectiveTimeoutError, ShmCorruptionError, RankFailureError)
+
+
+def default_ladder(machine: MachineSpec) -> List[ReductionScheme]:
+    """The paper's schemes, fastest first, capability-filtered."""
+    ladder: List[ReductionScheme] = []
+    if machine.shm_windows:
+        ladder.append(PackedHierarchicalAllreduce())
+    ladder.append(PackedAllreduce())
+    ladder.append(BaselineRowwiseAllreduce())
+    return ladder
+
+
+class ResilientReduction(ReductionScheme):
+    """Run a scheme ladder, degrading one rung per persistent fault."""
+
+    name = "resilient"
+
+    def __init__(self, schemes: Optional[Sequence[ReductionScheme]] = None) -> None:
+        self.schemes = list(schemes) if schemes is not None else None
+
+    def _ladder(self, machine: MachineSpec) -> List[ReductionScheme]:
+        if self.schemes is not None:
+            ladder = [
+                s
+                for s in self.schemes
+                if machine.shm_windows or not isinstance(s, PackedHierarchicalAllreduce)
+            ]
+        else:
+            ladder = default_ladder(machine)
+        if not ladder:
+            raise CommunicationError(
+                f"no reduction scheme is applicable on {machine.name}"
+            )
+        return ladder
+
+    def reduce(self, cluster: SimCluster, per_rank_rows: Sequence[np.ndarray]):
+        ladder = self._ladder(cluster.machine)
+        last_error: Optional[Exception] = None
+        for position, scheme in enumerate(ladder):
+            try:
+                out, report = scheme.reduce(cluster, per_rank_rows)
+            except DEGRADABLE_FAULTS as exc:
+                last_error = exc
+                if position + 1 < len(ladder):
+                    cluster.record_degradation(
+                        f"{scheme.name}->{ladder[position + 1].name}: {exc}"
+                    )
+                continue
+            return out, report
+        raise CommunicationError(
+            f"all {len(ladder)} reduction schemes exhausted under faults "
+            f"(last: {last_error})"
+        )
+
+    def estimate(
+        self, machine: MachineSpec, n_ranks: int, n_rows: int, row_bytes: int
+    ) -> ReductionReport:
+        """Fault-free cost: the primary (fastest applicable) rung."""
+        return self._ladder(machine)[0].estimate(machine, n_ranks, n_rows, row_bytes)

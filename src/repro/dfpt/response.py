@@ -30,6 +30,7 @@ from repro.dft.density import density_on_grid
 from repro.dft.scf import GroundState
 from repro.dft.xc import lda_xc_kernel
 from repro.errors import CPSCFConvergenceError
+from repro.runtime.faults import CycleFaultInjector
 from repro.utils.timing import PhaseTimer
 
 
@@ -44,6 +45,7 @@ class ResponseResult:
     response_potential: np.ndarray  # v^(1)_es,tot + v^(1)_xc on the grid
     iterations: int
     residual: float
+    restarts: int = 0  # cycles redone after injected faults
 
     def polarizability_column(self, dipoles: np.ndarray) -> np.ndarray:
         """alpha_{I, J=direction} = Tr(P^(1) D_I) = int r_I n^(1) (Eq. 13).
@@ -65,10 +67,12 @@ class DFPTSolver:
         ground_state: GroundState,
         settings: Optional[CPSCFSettings] = None,
         timer: Optional[PhaseTimer] = None,
+        fault_injector: Optional[CycleFaultInjector] = None,
     ) -> None:
         self.gs = ground_state
         self.settings = settings or CPSCFSettings()
         self.timer = timer or PhaseTimer()
+        self.fault_injector = fault_injector
         # The xc kernel is a ground-state property; compute it once.
         self._fxc = lda_xc_kernel(ground_state.density)
 
@@ -115,8 +119,14 @@ class DFPTSolver:
         n1 = np.zeros_like(gs.density)
         v1_total = np.zeros_like(gs.density)
         residual = np.inf
+        restarts = 0
+        attempt = 0
 
-        for iteration in range(1, cfg.max_iterations + 1):
+        iteration = 1
+        while iteration <= cfg.max_iterations:
+            # Checkpoint of the last converged cycle; an injected fault
+            # discards this cycle's work and restarts from here.
+            checkpoint = p1.copy()
             with self.timer.phase("Sumup"):
                 n1 = density_on_grid(gs.builder, p1)
             with self.timer.phase("Rho"):
@@ -127,6 +137,15 @@ class DFPTSolver:
                 h1 = h1_ext + gs.builder.potential_matrix(v1_total)
             with self.timer.phase("DM"):
                 _, c1, p1_new = self._first_order_dm(h1)
+
+            if self.fault_injector is not None and self.fault_injector.cycle_fault(
+                f"cpscf{direction}", iteration, attempt
+            ):
+                p1 = checkpoint  # restore: redo this cycle from scratch
+                restarts += 1
+                attempt += 1
+                continue
+            attempt = 0
 
             residual = float(np.abs(p1_new - p1).max())
             p1 = p1 + cfg.mixing_factor * (p1_new - p1)
@@ -140,7 +159,9 @@ class DFPTSolver:
                     response_potential=v1_total,
                     iterations=iteration,
                     residual=residual,
+                    restarts=restarts,
                 )
+            iteration += 1
 
         raise CPSCFConvergenceError(
             f"CPSCF direction {direction} did not converge in "

@@ -25,6 +25,7 @@ from repro.dft.mixing import PulayMixer
 from repro.dft.xc import lda_exchange_correlation
 from repro.errors import SCFConvergenceError
 from repro.grids.atom_grid import IntegrationGrid, build_grid
+from repro.runtime.faults import CycleFaultInjector
 from repro.utils.linalg import (
     density_matrix_from_orbitals,
     solve_generalized_eigenproblem,
@@ -52,6 +53,7 @@ class GroundState:
     total_energy: float
     energy_components: Dict[str, float] = field(default_factory=dict)
     iterations: int = 0
+    restarts: int = 0  # cycles redone after injected faults
 
     @property
     def n_occupied(self) -> int:
@@ -131,7 +133,9 @@ class SCFDriver:
         return f
 
     def run(
-        self, external_field: Optional[np.ndarray] = None
+        self,
+        external_field: Optional[np.ndarray] = None,
+        fault_injector: Optional[CycleFaultInjector] = None,
     ) -> GroundState:
         """Iterate to self-consistency; returns the converged state.
 
@@ -141,6 +145,12 @@ class SCFDriver:
             Optional homogeneous field xi (3-vector).  Adds the
             perturbation ``-xi . r`` of Eq. (11) to the Hamiltonian —
             used by finite-difference polarizability references.
+        fault_injector:
+            Optional :class:`~repro.runtime.faults.CycleFaultInjector`.
+            A fault fired mid-cycle discards that cycle's work; the
+            driver restores the last converged cycle's checkpoint and
+            redoes it, so converged results are bit-exact with a
+            fault-free run.
         """
         scf = self.settings.scf
         h_field = np.zeros_like(self._s)
@@ -160,8 +170,14 @@ class SCFDriver:
         e_old = np.inf
         residual_norm = np.inf
         w = self.grid.weights
+        restarts = 0
+        attempt = 0
 
-        for iteration in range(1, scf.max_iterations + 1):
+        iteration = 1
+        while iteration <= scf.max_iterations:
+            # Checkpoint of the last converged cycle; an injected fault
+            # below discards this cycle's work and restarts from here.
+            checkpoint = p.copy()
             with self.timer.phase("density"):
                 n_values = density_on_grid(self.builder, p)
             with self.timer.phase("hartree"):
@@ -171,6 +187,17 @@ class SCFDriver:
             with self.timer.phase("hamiltonian"):
                 v_eff = self.builder.potential_matrix(v_h_values + xc.vxc)
                 h = self._t + self._v_ext + v_eff + h_field
+
+            # Fault check sits before the DIIS push so a rolled-back
+            # cycle leaves the mixer history untouched (bit-exactness).
+            if fault_injector is not None and fault_injector.cycle_fault(
+                "scf", iteration, attempt
+            ):
+                p = checkpoint
+                restarts += 1
+                attempt += 1
+                continue
+            attempt = 0
 
             # DIIS on the Fock matrix with commutator residual.
             commutator = h @ p @ self._s - self._s @ p @ h
@@ -221,7 +248,9 @@ class SCFDriver:
                         "nuclear": self._e_nn,
                     },
                     iterations=iteration,
+                    restarts=restarts,
                 )
+            iteration += 1
 
         raise SCFConvergenceError(
             f"SCF did not converge in {scf.max_iterations} iterations "

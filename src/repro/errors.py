@@ -50,6 +50,31 @@ class CommunicationError(ReproError):
     """Simulated-MPI misuse (mismatched buffers, unknown ranks...)."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault-injection plan is malformed or its restart budget ran out."""
+
+
+class RankFailureError(CommunicationError):
+    """A simulated rank died and could not be brought back."""
+
+    def __init__(self, message: str, *, rank: int = -1):
+        super().__init__(message)
+        self.rank = rank
+
+
+class CollectiveTimeoutError(CommunicationError):
+    """A collective exhausted its retry/backoff budget under faults."""
+
+    def __init__(self, message: str, *, site: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.site = site
+        self.attempts = attempts
+
+
+class ShmCorruptionError(CommunicationError):
+    """A shared-memory window was corrupted by an injected fault."""
+
+
 class DeviceError(ReproError):
     """Simulated OpenCL device misuse (buffer overflow, bad NDRange...)."""
 

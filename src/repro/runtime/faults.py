@@ -1,0 +1,304 @@
+"""Deterministic fault injection for the simulated SPMD runtime.
+
+The paper's communication schemes are exercised here on a perfect
+machine; at the 40k-rank regimes it targets, ranks die, messages are
+dropped or corrupted, and collectives stall.  This module supplies a
+*seedable* fault model so every such failure is reproducible:
+
+* :class:`FaultPlan` — the decision oracle.  Given a fault *site* (one
+  collective call, one shared-window synthesis, one CPSCF cycle) and a
+  retry attempt number, it deterministically decides whether a fault
+  fires and of which kind.  Decisions come from per-site RNG streams
+  seeded by ``(seed, crc32(site), attempt)``, so they do not depend on
+  global call order, plus an explicit :class:`ScheduledFault` list for
+  tests that need a guaranteed failure at a known call.
+* :class:`RetryPolicy` — exponential backoff + timeout governing how
+  :class:`~repro.runtime.simmpi.SimComm` reacts to injected faults.
+* :class:`CycleFaultInjector` — the hook iterative drivers (SCF/CPSCF)
+  poll once per cycle to model node loss mid-iteration; the drivers
+  recover by checkpoint-restart of the last converged cycle.
+
+Fault kinds (``FaultEvent.kind``):
+
+========================  ====================================================
+``rank_failure``          a rank dies mid-collective; recovered by restoring
+                          its state from the last checkpoint (modeled cost)
+``message_drop``          a message is lost; detected by timeout, retried
+``message_corruption``    payload damaged; detected by checksum, retried
+``straggler``             one rank is late; everyone else idles (no retry)
+``collective_error``      transient MPI-stack error; retried
+``shm_corruption``        a shared-memory window synthesis is damaged; the
+                          hierarchical scheme degrades to a flat collective
+``cycle_fault``           a whole SCF/CPSCF cycle is lost; the driver
+                          restores the previous cycle's checkpoint
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+#: Fault kinds that can strike one collective call.
+COLLECTIVE_KINDS = (
+    "rank_failure",
+    "message_corruption",
+    "message_drop",
+    "collective_error",
+    "straggler",
+)
+
+#: Every kind a plan may carry (collective + shm + driver-cycle faults).
+ALL_KINDS = COLLECTIVE_KINDS + ("shm_corruption", "cycle_fault")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as observed by the runtime."""
+
+    kind: str
+    site: str
+    rank: int = -1
+    delay: float = 0.0  # modeled seconds of backoff/idle this event cost
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """An explicit fault pinned to one call index.
+
+    ``call_index`` counts cluster-wide collective calls for collective
+    kinds, shared-window syntheses for ``shm_corruption``, and driver
+    cycles for ``cycle_fault``.  A ``persistent`` fault fires on every
+    retry attempt, exhausting the retry budget — the way tests force a
+    degradation (hierarchical -> flat, packed -> row-wise).  ``site``
+    optionally restricts the match to sites starting with that prefix.
+    """
+
+    kind: str
+    call_index: int
+    rank: Optional[int] = None
+    persistent: bool = False
+    site: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {self.kind!r}; expected one of {ALL_KINDS}"
+            )
+        if self.call_index < 0:
+            raise FaultInjectionError(
+                f"call_index must be >= 0, got {self.call_index}"
+            )
+
+    def matches(self, site: str, call_index: int, attempt: int) -> bool:
+        if self.call_index != call_index:
+            return False
+        if self.site is not None and not site.startswith(self.site):
+            return False
+        return attempt == 0 or self.persistent
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-site fault probabilities for the randomized mode.
+
+    Each collective call (and each retry attempt) draws once; the rates
+    partition the unit interval, so their sum must stay <= 1.
+    """
+
+    rank_failure: float = 0.0
+    message_drop: float = 0.0
+    message_corruption: float = 0.0
+    straggler: float = 0.0
+    collective_error: float = 0.0
+    shm_corruption: float = 0.0
+    cycle_fault: float = 0.0
+    #: Modeled seconds one straggler keeps the collective waiting.
+    straggler_delay: float = 5.0e-4
+
+    def __post_init__(self) -> None:
+        ladder = self._ladder()
+        for kind, rate in ladder + [("cycle_fault", self.cycle_fault),
+                                    ("shm_corruption", self.shm_corruption)]:
+            if not 0.0 <= rate <= 1.0:
+                raise FaultInjectionError(
+                    f"{kind} rate must be in [0, 1], got {rate}"
+                )
+        total = sum(rate for _, rate in ladder)
+        if total > 1.0:
+            raise FaultInjectionError(
+                f"collective fault rates sum to {total:.3f} > 1"
+            )
+        if self.straggler_delay < 0.0:
+            raise FaultInjectionError("straggler_delay must be >= 0")
+
+    def _ladder(self) -> List[Tuple[str, float]]:
+        """Collective kinds and their slice of the unit interval."""
+        return [
+            ("rank_failure", self.rank_failure),
+            ("message_corruption", self.message_corruption),
+            ("message_drop", self.message_drop),
+            ("collective_error", self.collective_error),
+            ("straggler", self.straggler),
+        ]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + timeout for faulted collectives."""
+
+    max_retries: int = 4
+    base_backoff: float = 1.0e-4  # modeled seconds
+    backoff_factor: float = 2.0
+    timeout: float = 0.05  # cumulative modeled backoff before giving up
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultInjectionError("max_retries must be >= 0")
+        if self.base_backoff < 0 or self.timeout < 0:
+            raise FaultInjectionError("backoff/timeout must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise FaultInjectionError("backoff_factor must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Modeled wait before retry number ``attempt + 1``."""
+        return self.base_backoff * self.backoff_factor**attempt
+
+
+class FaultPlan:
+    """Seeded, deterministic fault decisions for one run.
+
+    A plan combines randomized rates with an explicit schedule.  The
+    same ``(seed, rates, schedule)`` triple always produces the same
+    faults at the same sites, independent of unrelated call ordering —
+    the property the chaos suite's bit-exact recovery assertions rely
+    on.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Optional[FaultRates] = None,
+        schedule: Sequence[ScheduledFault] = (),
+        max_rank_failures: int = 1,
+    ) -> None:
+        if max_rank_failures < 0:
+            raise FaultInjectionError("max_rank_failures must be >= 0")
+        self.seed = int(seed)
+        self.rates = rates or FaultRates()
+        self.schedule = list(schedule)
+        self.max_rank_failures = max_rank_failures
+        self.rank_failures_injected = 0
+
+    # ------------------------------------------------------------------
+    def _rng(self, site: str, attempt: int) -> np.random.Generator:
+        return np.random.default_rng(
+            [self.seed, zlib.crc32(site.encode()), attempt]
+        )
+
+    def _scheduled(
+        self, kinds: Sequence[str], site: str, call_index: int, attempt: int
+    ) -> Optional[ScheduledFault]:
+        for sf in self.schedule:
+            if sf.kind in kinds and sf.matches(site, call_index, attempt):
+                return sf
+        return None
+
+    # ------------------------------------------------------------------
+    def collective_fault(
+        self, site: str, call_index: int, attempt: int, ranks: Sequence[int]
+    ) -> Optional[FaultEvent]:
+        """Decide the fate of one collective call attempt.
+
+        Returns ``None`` (no fault) or a :class:`FaultEvent`; at most
+        one fault strikes per attempt.
+        """
+        sf = self._scheduled(COLLECTIVE_KINDS, site, call_index, attempt)
+        if sf is not None:
+            rank = sf.rank if sf.rank is not None else ranks[call_index % len(ranks)]
+            if sf.kind == "rank_failure":
+                self.rank_failures_injected += 1
+            return FaultEvent(
+                kind=sf.kind,
+                site=site,
+                rank=int(rank),
+                delay=self.rates.straggler_delay if sf.kind == "straggler" else 0.0,
+                detail="scheduled" + (" persistent" if sf.persistent else ""),
+            )
+        rng = self._rng(site, attempt)
+        draw = float(rng.random())
+        acc = 0.0
+        for kind, rate in self.rates._ladder():
+            acc += rate
+            if draw < acc:
+                if (
+                    kind == "rank_failure"
+                    and self.rank_failures_injected >= self.max_rank_failures
+                ):
+                    break  # failure budget spent; let this call succeed
+                if kind == "rank_failure":
+                    self.rank_failures_injected += 1
+                return FaultEvent(
+                    kind=kind,
+                    site=site,
+                    rank=int(rng.integers(len(ranks))) if ranks else -1,
+                    delay=self.rates.straggler_delay if kind == "straggler" else 0.0,
+                    detail="random",
+                )
+        return None
+
+    def shm_fault(self, site: str, call_index: int, attempt: int = 0) -> Optional[FaultEvent]:
+        """Decide whether one shared-window synthesis is corrupted."""
+        sf = self._scheduled(("shm_corruption",), site, call_index, attempt)
+        if sf is not None:
+            return FaultEvent(kind="shm_corruption", site=site, detail="scheduled")
+        rng = self._rng(site, attempt)
+        if float(rng.random()) < self.rates.shm_corruption:
+            return FaultEvent(kind="shm_corruption", site=site, detail="random")
+        return None
+
+    def cycle_fault(self, site: str, cycle: int, attempt: int) -> Optional[FaultEvent]:
+        """Decide whether one driver cycle (SCF/CPSCF iteration) is lost."""
+        full_site = f"{site}[{cycle}]"
+        sf = self._scheduled(("cycle_fault",), full_site, cycle, attempt)
+        if sf is not None:
+            return FaultEvent(kind="cycle_fault", site=full_site, detail="scheduled")
+        rng = self._rng(full_site, attempt)
+        if float(rng.random()) < self.rates.cycle_fault:
+            return FaultEvent(kind="cycle_fault", site=full_site, detail="random")
+        return None
+
+
+class CycleFaultInjector:
+    """Per-cycle fault hook for the iterative drivers.
+
+    ``SCFDriver``/``DFPTSolver`` poll :meth:`cycle_fault` once per
+    cycle; a hit means the cycle's work is lost and the driver restores
+    the last converged cycle's checkpoint and redoes it.  More than
+    ``max_restarts`` consecutive hits on the same cycle raise
+    :class:`~repro.errors.FaultInjectionError` (an unsurvivable node).
+    """
+
+    def __init__(self, plan: FaultPlan, max_restarts: int = 3) -> None:
+        self.plan = plan
+        self.max_restarts = max_restarts
+        self.events: List[FaultEvent] = []
+        self.restarts = 0
+
+    def cycle_fault(self, site: str, cycle: int, attempt: int) -> Optional[FaultEvent]:
+        if attempt > self.max_restarts:
+            raise FaultInjectionError(
+                f"{site} cycle {cycle} failed {attempt} consecutive times "
+                f"(max_restarts={self.max_restarts})"
+            )
+        ev = self.plan.cycle_fault(site, cycle, attempt)
+        if ev is not None:
+            self.events.append(ev)
+            self.restarts += 1
+        return ev

@@ -50,7 +50,13 @@ class CycleTrace:
         return sum(iv.duration for iv in self.intervals if iv.rank == rank)
 
     def utilization(self) -> float:
-        """Mean busy fraction across ranks (1.0 = no idle time)."""
+        """Mean busy fraction across ranks (1.0 = no idle time).
+
+        A zero-span cycle (no intervals, or all zero-duration) has no
+        idle time by definition and reports 1.0.
+        """
+        if self.n_ranks < 1:
+            raise ExperimentError("trace needs at least one rank")
         span = self.span
         if span <= 0.0:
             return 1.0
@@ -59,11 +65,38 @@ class CycleTrace:
 
     def imbalance(self) -> float:
         """Max/mean busy-time ratio."""
+        if self.n_ranks < 1:
+            raise ExperimentError("trace needs at least one rank")
+        if not self.intervals:
+            raise ExperimentError("trace has no work")
         busy = np.array([self.busy_time(r) for r in range(self.n_ranks)])
         mean = busy.mean()
         if mean <= 0.0:
             raise ExperimentError("trace has no work")
         return float(busy.max() / mean)
+
+    def with_fault_events(self, events: Sequence) -> "CycleTrace":
+        """Append explicit retry/idle intervals for injected faults.
+
+        Each :class:`~repro.runtime.faults.FaultEvent` with a positive
+        ``delay`` extends the cycle: a ``straggler`` keeps every other
+        rank idle while the late rank computes (phase ``Idle``), any
+        other kind stalls the whole communicator in backoff (phase
+        ``Retry``).  Returns a new trace; the original is unchanged.
+        """
+        intervals = list(self.intervals)
+        cursor = self.span
+        for ev in events:
+            delay = getattr(ev, "delay", 0.0)
+            if delay <= 0.0:
+                continue
+            phase = "Idle" if ev.kind == "straggler" else "Retry"
+            for r in range(self.n_ranks):
+                if phase == "Idle" and r == ev.rank:
+                    continue  # the straggler itself is busy, not idle
+                intervals.append(Interval(r, phase, cursor, cursor + delay))
+            cursor += delay
+        return CycleTrace(n_ranks=self.n_ranks, intervals=intervals)
 
     def phase_spans(self) -> Dict[str, float]:
         """Wall-clock occupied by each phase (across all ranks)."""

@@ -1,0 +1,10 @@
+"""Test harnesses shipped with the library.
+
+:mod:`repro.testing.chaos` runs the full physics + communication
+pipeline under a seeded fault plan and checks that recovery is
+bit-exact against the fault-free reference.
+"""
+
+from repro.testing.chaos import ChaosReport, run_chaos
+
+__all__ = ["ChaosReport", "run_chaos"]

@@ -1,6 +1,10 @@
-"""Shared fixtures: expensive physics objects built once per session."""
+"""Shared fixtures: expensive physics objects built once per session,
+plus factories for the small machine/cluster instances the runtime,
+communication and fault suites all need."""
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -8,6 +12,7 @@ import pytest
 from repro.atoms import hydrogen_molecule, water
 from repro.config import get_settings
 from repro.dft import SCFDriver
+from repro.runtime import HPC2_AMD, SimCluster
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +35,36 @@ def water_ground_state(minimal_settings):
 @pytest.fixture
 def rng():
     return np.random.default_rng(20230712)
+
+
+@pytest.fixture
+def make_machine():
+    """Factory for small MachineSpec variants derived from a preset.
+
+    ``make_machine(procs_per_node=4)`` clones HPC#2 with overrides;
+    pass ``base=HPC1_SUNWAY`` to start from the other preset.
+    """
+
+    def _make(base=HPC2_AMD, **overrides):
+        return replace(base, **overrides) if overrides else base
+
+    return _make
+
+
+@pytest.fixture
+def make_cluster(make_machine):
+    """Factory for small SimCluster instances.
+
+    ``make_cluster(8)`` gives 8 ranks on HPC#2; keyword arguments are
+    split between MachineSpec overrides (``procs_per_node=...``) and
+    SimCluster options (``fault_plan=``, ``retry_policy=``, ``base=``).
+    """
+
+    def _make(n_ranks=8, fault_plan=None, retry_policy=None, base=HPC2_AMD,
+              **machine_overrides):
+        machine = make_machine(base, **machine_overrides)
+        return SimCluster(
+            machine, n_ranks, fault_plan=fault_plan, retry_policy=retry_policy
+        )
+
+    return _make

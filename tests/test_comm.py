@@ -1,5 +1,7 @@
 """Reduction schemes: numerical equality and cost-model shape."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -15,6 +17,14 @@ from repro.errors import CommunicationError
 from repro.runtime import HPC1_SUNWAY, HPC2_AMD, SimCluster
 
 ROW_BYTES = 34 * 49 * 8  # shells x lm x float64 — one rho_multipole row
+
+
+def _serial_sum(buffers):
+    """Rank-ascending accumulation — the collectives' exact order."""
+    out = buffers[0].copy()
+    for b in buffers[1:]:
+        out = out + b
+    return out
 
 
 class TestPacking:
@@ -77,6 +87,76 @@ class TestNumericalEquivalence:
             BaselineRowwiseAllreduce().reduce(cl, [np.zeros((3, 3))] * 3)
         with pytest.raises(CommunicationError):
             BaselineRowwiseAllreduce().reduce(cl, [np.zeros(3)] * 4)
+
+
+class TestCollectiveProperties:
+    """SimComm collectives are bit-exact with serial numpy references
+    across random rank counts, dtypes and machine shapes."""
+
+    DTYPES = (np.float32, np.float64, np.complex128, np.int64)
+
+    @staticmethod
+    def _buffers(rng, p, n, dtype):
+        if np.issubdtype(dtype, np.integer):
+            return [rng.integers(-1000, 1000, size=n).astype(dtype) for _ in range(p)]
+        if np.issubdtype(dtype, np.complexfloating):
+            return [
+                (rng.normal(size=n) + 1j * rng.normal(size=n)).astype(dtype)
+                for _ in range(p)
+            ]
+        return [rng.normal(size=n).astype(dtype) for _ in range(p)]
+
+    @given(
+        p=st.integers(1, 24),
+        n=st.integers(1, 60),
+        dtype_i=st.integers(0, 3),
+        base_i=st.integers(0, 1),
+        procs_per_node=st.integers(1, 9),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allreduce_bitwise_equals_serial(
+        self, p, n, dtype_i, base_i, procs_per_node, seed
+    ):
+        dtype = self.DTYPES[dtype_i]
+        machine = replace(
+            (HPC1_SUNWAY, HPC2_AMD)[base_i], procs_per_node=procs_per_node
+        )
+        rng = np.random.default_rng(seed)
+        bufs = self._buffers(rng, p, n, dtype)
+        out = SimCluster(machine, p).comm().allreduce(bufs)
+        ref = _serial_sum(bufs)
+        assert out.dtype == ref.dtype
+        assert np.array_equal(out, ref)
+
+    @given(p=st.integers(1, 16), n=st.integers(1, 40), seed=st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_gather_bitwise_equals_concatenate(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        bufs = [rng.normal(size=n) for _ in range(p)]
+        out = SimCluster(HPC2_AMD, p).comm().gather(bufs)
+        assert np.array_equal(out, np.concatenate([b.ravel() for b in bufs]))
+
+    @given(p=st.integers(1, 16), n=st.integers(1, 40), seed=st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_bcast_bitwise_copies(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        src = rng.normal(size=n)
+        copies = SimCluster(HPC2_AMD, p).comm().bcast(src)
+        assert len(copies) == p
+        assert all(np.array_equal(c, src) for c in copies)
+
+    @given(
+        p=st.integers(2, 16),
+        rows=st.integers(1, 20),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_allreduce_max_op_equals_numpy(self, p, rows, seed):
+        rng = np.random.default_rng(seed)
+        bufs = [rng.normal(size=rows) for _ in range(p)]
+        out = SimCluster(HPC2_AMD, p).comm().allreduce(bufs, op=np.maximum)
+        assert np.array_equal(out, np.max(bufs, axis=0))
 
 
 class TestCostShape:

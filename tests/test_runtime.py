@@ -83,24 +83,43 @@ class TestCostPrimitives:
 
 
 class TestSimCluster:
-    def test_layout(self):
-        cl = SimCluster(HPC2_AMD, 100)
+    def test_layout(self, make_cluster):
+        cl = make_cluster(100)
         assert cl.n_nodes == 4
         assert cl.node_of(0) == 0 and cl.node_of(99) == 3
         assert list(cl.ranks_of_node(3)) == list(range(96, 100))
         assert cl.accelerator_group_of(15) == 1
 
-    def test_rank_bounds(self):
-        cl = SimCluster(HPC2_AMD, 8)
+    def test_rank_bounds(self, make_cluster):
+        cl = make_cluster(8)
         with pytest.raises(CommunicationError):
             cl.node_of(8)
         with pytest.raises(CommunicationError):
             SimCluster(HPC2_AMD, 0)
 
+    def test_ranks_of_node_partial_last_node(self, make_cluster):
+        # 100 ranks at 32/node: node 3 hosts only ranks 96..99.
+        cl = make_cluster(100)
+        partial = cl.ranks_of_node(3)
+        assert list(partial) == [96, 97, 98, 99]
+        assert len(partial) < cl.machine.procs_per_node
+
+    def test_ranks_of_node_bounds_raise_clearly(self, make_cluster):
+        cl = make_cluster(100)  # 4 nodes
+        with pytest.raises(CommunicationError, match="out of range"):
+            cl.ranks_of_node(4)  # first node past the end
+        with pytest.raises(CommunicationError, match="out of range"):
+            cl.ranks_of_node(-1)  # used to return a bogus negative range
+        # Exactly full cluster: last valid node is n_nodes - 1.
+        full = make_cluster(64)
+        assert list(full.ranks_of_node(1)) == list(range(32, 64))
+        with pytest.raises(CommunicationError, match="out of range"):
+            full.ranks_of_node(2)
+
 
 class TestSimComm:
-    def test_allreduce_is_exact_sum(self, rng):
-        cl = SimCluster(HPC2_AMD, 16)
+    def test_allreduce_is_exact_sum(self, rng, make_cluster):
+        cl = make_cluster(16)
         comm = cl.comm()
         bufs = [rng.normal(size=(7, 3)) for _ in range(16)]
         out = comm.allreduce(bufs)
@@ -118,34 +137,34 @@ class TestSimComm:
         ref = np.sum(bufs, axis=0)
         assert np.allclose(out, ref, rtol=1e-12)
 
-    def test_custom_op(self):
-        cl = SimCluster(HPC2_AMD, 4)
+    def test_custom_op(self, make_cluster):
+        cl = make_cluster(4)
         bufs = [np.array([float(i)]) for i in range(4)]
         out = cl.comm().allreduce(bufs, op=np.maximum)
         assert out[0] == 3.0
 
-    def test_shape_validation(self):
-        cl = SimCluster(HPC2_AMD, 4)
+    def test_shape_validation(self, make_cluster):
+        cl = make_cluster(4)
         with pytest.raises(CommunicationError):
             cl.comm().allreduce([np.zeros(3)] * 3)
         with pytest.raises(CommunicationError):
             cl.comm().allreduce([np.zeros(3)] * 3 + [np.zeros(4)])
 
-    def test_bcast_copies(self):
-        cl = SimCluster(HPC2_AMD, 4)
+    def test_bcast_copies(self, make_cluster):
+        cl = make_cluster(4)
         src = np.arange(5.0)
         copies = cl.comm().bcast(src)
         assert len(copies) == 4
         copies[0][0] = 99.0
         assert src[0] == 0.0
 
-    def test_gather_concatenates(self):
-        cl = SimCluster(HPC2_AMD, 3)
+    def test_gather_concatenates(self, make_cluster):
+        cl = make_cluster(3)
         out = cl.comm().gather([np.array([i, i]) for i in range(3)])
         assert np.array_equal(out, [0, 0, 1, 1, 2, 2])
 
-    def test_subcomms(self):
-        cl = SimCluster(HPC2_AMD, 64)
+    def test_subcomms(self, make_cluster):
+        cl = make_cluster(64)
         comm = cl.comm()
         nodes = comm.node_subcomms()
         assert len(nodes) == 2 and all(s.size == 32 for s in nodes)

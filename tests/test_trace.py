@@ -58,3 +58,70 @@ class TestTraceCycle:
     def test_interval_duration(self):
         iv = Interval(0, "DM", 1.0, 3.5)
         assert iv.duration == pytest.approx(2.5)
+
+
+class TestEdgeCases:
+    """utilization()/imbalance() on degenerate traces."""
+
+    def test_zero_span_cycle(self):
+        trace = CycleTrace(
+            n_ranks=2,
+            intervals=[Interval(0, "DM", 0.0, 0.0), Interval(1, "DM", 0.0, 0.0)],
+        )
+        assert trace.span == 0.0
+        assert trace.utilization() == 1.0  # no time elapsed = no idle time
+        with pytest.raises(ExperimentError):
+            trace.imbalance()
+
+    def test_single_rank(self):
+        trace = trace_cycle({"DM": 1.0, "Comm": 0.5}, [42])
+        assert trace.n_ranks == 1
+        assert trace.utilization() == pytest.approx(1.0)
+        assert trace.imbalance() == pytest.approx(1.0)
+
+    def test_empty_interval_list(self):
+        trace = CycleTrace(n_ranks=3, intervals=[])
+        assert trace.utilization() == 1.0
+        with pytest.raises(ExperimentError):
+            trace.imbalance()
+
+    def test_zero_ranks_rejected(self):
+        trace = CycleTrace(n_ranks=0, intervals=[])
+        with pytest.raises(ExperimentError):
+            trace.utilization()
+        with pytest.raises(ExperimentError):
+            trace.imbalance()
+
+
+class TestFaultIntervals:
+    def test_retry_and_idle_intervals_appended(self):
+        from repro.runtime import FaultEvent
+
+        base = trace_cycle(PHASES, [100, 100])
+        events = [
+            FaultEvent(kind="message_corruption", site="allreduce[0]", rank=0,
+                       delay=0.25),
+            FaultEvent(kind="straggler", site="allreduce[1]", rank=1, delay=0.5),
+            FaultEvent(kind="collective_error", site="bcast[2]", delay=0.0),
+        ]
+        faulted = base.with_fault_events(events)
+        assert base.span == pytest.approx(sum(PHASES.values()))  # unchanged
+        assert faulted.span == pytest.approx(base.span + 0.25 + 0.5)
+        retry = [iv for iv in faulted.intervals if iv.phase == "Retry"]
+        idle = [iv for iv in faulted.intervals if iv.phase == "Idle"]
+        assert len(retry) == 2  # both ranks stall in backoff
+        assert len(idle) == 1  # everyone but the straggler idles
+        assert idle[0].rank == 0
+        assert faulted.utilization() < base.utilization()
+        art = faulted.render_ascii(width=50)
+        assert "R=Retry" in art and "I=Idle" in art
+
+    def test_no_delay_events_are_noops(self):
+        from repro.runtime import FaultEvent
+
+        base = trace_cycle(PHASES, [10, 10])
+        same = base.with_fault_events(
+            [FaultEvent(kind="message_drop", site="x", delay=0.0)]
+        )
+        assert same.span == base.span
+        assert len(same.intervals) == len(base.intervals)
