@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test chaos smoke
+.PHONY: test chaos smoke bench-smoke
 
 # Tier-1: the fast default profile (chaos sweeps deselected via addopts).
 test:
@@ -16,3 +16,8 @@ chaos:
 # Just the fault/resilience smoke subset (also part of `make test`).
 smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_faults.py
+
+# Quick execution-backend comparison (numpy vs batched vs device) on an
+# over-cache-limit system; writes BENCH_backends.json at the repo root.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py --quick

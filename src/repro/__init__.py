@@ -11,6 +11,12 @@ Public entry points:
 >>> result = sim.run_physics()          # doctest: +SKIP
 """
 
+from repro.backends import (
+    BackendProfile,
+    ExecutionBackend,
+    available_backends,
+    create_backend,
+)
 from repro.atoms import (
     Structure,
     hiv_ligand,
@@ -45,6 +51,10 @@ __all__ = [
     "OptimizationFlags",
     "PerturbationSimulator",
     "SCFDriver",
+    "ExecutionBackend",
+    "BackendProfile",
+    "available_backends",
+    "create_backend",
     "polarizability_tensor",
     "isotropic_polarizability",
     "finite_difference_polarizability",

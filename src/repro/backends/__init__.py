@@ -1,0 +1,53 @@
+"""Pluggable execution backends for the SCF/CPSCF hot phases.
+
+One seam (:class:`ExecutionBackend`), three bit-exact engines:
+
+* ``numpy`` — the reference: full-grid cached basis table, O(grid) memory;
+* ``batched`` — per-batch streaming through a bounded LRU block cache,
+  O(batch) memory, nothing recomputed while the cache holds it;
+* ``device`` — the same operations as priced launches on the
+  :mod:`repro.ocl` accelerator model.
+
+Select one end-to-end with ``SCFDriver(..., backend="batched")`` /
+``DFPTSolver(..., backend=...)`` / ``repro physics ... --backend batched``.
+"""
+
+from repro.backends.base import (
+    BackendProfile,
+    ExecutionBackend,
+    PhaseStats,
+    density_block,
+    first_order_dm_dense,
+    potential_block,
+)
+from repro.backends.registry import (
+    DEFAULT_BACKEND,
+    available_backends,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
+
+# Importing the implementation modules registers the built-in backends.
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.batched import BatchedBackend, BlockCache, DEFAULT_CACHE_BYTES
+from repro.backends.device import DeviceBackend
+
+__all__ = [
+    "BackendProfile",
+    "BatchedBackend",
+    "BlockCache",
+    "DEFAULT_BACKEND",
+    "DEFAULT_CACHE_BYTES",
+    "DeviceBackend",
+    "ExecutionBackend",
+    "NumpyBackend",
+    "PhaseStats",
+    "available_backends",
+    "create_backend",
+    "density_block",
+    "first_order_dm_dense",
+    "potential_block",
+    "register_backend",
+    "resolve_backend",
+]

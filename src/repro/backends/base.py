@@ -1,0 +1,306 @@
+"""The execution-backend seam under the SCF/CPSCF drivers.
+
+The paper's central claim (§4.1) is a *single-source* pipeline whose
+hot phases — ``DM``, ``Sumup``, ``Rho``, ``H`` — run unchanged on
+heterogeneous backends.  :class:`ExecutionBackend` is that seam for
+this reproduction: the four phase operations the drivers need
+(:meth:`~ExecutionBackend.basis_block`,
+:meth:`~ExecutionBackend.density_on_grid`,
+:meth:`~ExecutionBackend.potential_matrix`,
+:meth:`~ExecutionBackend.first_order_dm`), implemented once as
+batch-ordered numpy math so every registered backend is *bit-exact*
+with every other — backends differ only in where the per-batch basis
+blocks come from (full cached table, bounded LRU block cache, device
+buffers) and in what bookkeeping each launch is charged.
+
+Every backend records a per-phase :class:`BackendProfile` (calls,
+elements processed, wall seconds, block-cache hits/misses, device
+launch and transfer statistics) which the CLI and
+:mod:`repro.utils.reports` surface — the repo's end-to-end
+observability of the phases the paper names.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, ClassVar, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import BackendError, GridError
+from repro.grids.batching import GridBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dft.hamiltonian import MatrixBuilder
+
+
+# ----------------------------------------------------------------------
+# The shared batch-local kernel math.
+#
+# All backends call these exact functions in the exact same batch order,
+# which is what makes the numpy/batched/device parity *bitwise* rather
+# than merely approximate: given bit-identical basis blocks, the
+# floating-point operation sequence is identical.
+# ----------------------------------------------------------------------
+def density_block(phi_b: np.ndarray, density_matrix: np.ndarray) -> np.ndarray:
+    """Pointwise density of one batch: ``sum_mu_nu P phi_mu phi_nu``."""
+    return np.einsum("pi,pi->p", phi_b @ density_matrix, phi_b, optimize=True)
+
+
+def potential_block(phi_b: np.ndarray, wv_b: np.ndarray) -> np.ndarray:
+    """One batch's contribution to ``<chi_mu | v | chi_nu>``."""
+    return phi_b.T @ (phi_b * wv_b[:, None])
+
+
+def first_order_dm_dense(
+    h1: np.ndarray,
+    inv_gaps: np.ndarray,
+    c_occ: np.ndarray,
+    c_virt: np.ndarray,
+    f_occ: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """DM phase: ``U_ai``, ``C^(1)`` and ``P^(1)`` (Eq. 7, Sternheimer)."""
+    h1_vo = c_virt.T @ h1 @ c_occ  # (n_virt, n_occ)
+    u = h1_vo * inv_gaps
+    c1_occ = c_virt @ u  # (n_basis, n_occ)
+    p1 = (c1_occ * f_occ[None, :]) @ c_occ.T
+    return u, c1_occ, p1 + p1.T  # Eq. (7): C1 C + C C1
+
+
+# ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+@dataclass
+class PhaseStats:
+    """Accumulated counters for one backend phase."""
+
+    calls: int = 0
+    elements: int = 0  # grid-point x basis (or matrix) elements processed
+    seconds: float = 0.0
+
+    def record(self, elements: int, seconds: float) -> None:
+        self.calls += 1
+        self.elements += int(elements)
+        self.seconds += float(seconds)
+
+
+@dataclass
+class BackendProfile:
+    """Per-phase execution statistics of one backend instance.
+
+    Phases use the paper's names where they exist: ``Sumup`` (density on
+    the grid), ``H`` (potential-matrix integration), ``DM`` (first-order
+    density matrix) plus ``basis`` for actual basis-block evaluations
+    (cache misses evaluate; hits do not).
+    """
+
+    backend: str
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_peak_bytes: int = 0
+    cache_max_bytes: int = 0
+    device_launches: int = 0
+    device_modeled_seconds: float = 0.0
+    device_bytes_transferred: int = 0
+
+    def record(self, phase: str, elements: int, seconds: float) -> None:
+        self.phases.setdefault(phase, PhaseStats()).record(elements, seconds)
+
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.phases.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly snapshot (used by the backend benchmark)."""
+        return {
+            "backend": self.backend,
+            "phases": {
+                name: {
+                    "calls": s.calls,
+                    "elements": s.elements,
+                    "seconds": s.seconds,
+                }
+                for name, s in self.phases.items()
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+                "peak_bytes": self.cache_peak_bytes,
+                "max_bytes": self.cache_max_bytes,
+            },
+            "device": {
+                "launches": self.device_launches,
+                "modeled_seconds": self.device_modeled_seconds,
+                "bytes_transferred": self.device_bytes_transferred,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# The backend protocol
+# ----------------------------------------------------------------------
+class ExecutionBackend:
+    """One execution engine for the grid-heavy phase operations.
+
+    A backend is constructed unbound (so drivers can accept either a
+    name or a configured instance) and bound to one
+    :class:`~repro.dft.hamiltonian.MatrixBuilder` via :meth:`bind`
+    before use.  Subclasses override :meth:`basis_block` (where a
+    batch's ``(batch_points, n_basis)`` chi table comes from) and may
+    wrap the phase implementations with device launches; the numerical
+    work itself is shared so results stay bit-identical across
+    backends.
+    """
+
+    #: Registry name, set by ``@register_backend``.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self) -> None:
+        self.builder: Optional["MatrixBuilder"] = None
+        self.profile = BackendProfile(backend=self.name)
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind(self, builder: "MatrixBuilder") -> "ExecutionBackend":
+        """Attach this backend to one matrix builder (idempotent)."""
+        if self.builder is builder:
+            return self
+        if self.builder is not None:
+            raise BackendError(
+                f"backend {self.name!r} is already bound to another builder"
+            )
+        self.builder = builder
+        self._on_bind()
+        return self
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses (stage buffers, size caches...)."""
+
+    def _require_bound(self) -> "MatrixBuilder":
+        if self.builder is None:
+            raise BackendError(
+                f"backend {self.name!r} is not bound; call bind(builder) first"
+            )
+        return self.builder
+
+    # ------------------------------------------------------------------
+    # Validation shared by all backends
+    # ------------------------------------------------------------------
+    def _check_density_matrix(self, density_matrix: np.ndarray) -> np.ndarray:
+        p = np.asarray(density_matrix, dtype=float)
+        nb = self._require_bound().basis.n_basis
+        if p.shape != (nb, nb):
+            raise ValueError(f"density matrix shape {p.shape}, basis size {nb}")
+        return p
+
+    def _check_potential(self, potential_values: np.ndarray) -> np.ndarray:
+        v = np.asarray(potential_values, dtype=float)
+        n_points = self._require_bound().grid.n_points
+        if v.shape[0] != n_points:
+            raise GridError(
+                f"{v.shape[0]} potential samples for {n_points} grid points"
+            )
+        return v
+
+    # ------------------------------------------------------------------
+    # The four phase operations
+    # ------------------------------------------------------------------
+    def basis_block(self, batch: GridBatch) -> np.ndarray:
+        """chi_mu table of one batch, ``(batch.n_points, n_basis)``."""
+        raise NotImplementedError
+
+    def density_on_grid(self, density_matrix: np.ndarray) -> np.ndarray:
+        """Pointwise density for one density matrix (Sumup phase)."""
+        builder = self._require_bound()
+        p = self._check_density_matrix(density_matrix)
+        start = time.perf_counter()
+        out = self._density_impl(p)
+        self.profile.record(
+            "Sumup",
+            builder.grid.n_points * builder.basis.n_basis,
+            time.perf_counter() - start,
+        )
+        return out
+
+    def potential_matrix(self, potential_values: np.ndarray) -> np.ndarray:
+        """``<chi_mu | v | chi_nu>`` for a pointwise potential (H phase)."""
+        builder = self._require_bound()
+        v = self._check_potential(potential_values)
+        start = time.perf_counter()
+        out = self._potential_impl(v)
+        self.profile.record(
+            "H",
+            builder.grid.n_points * builder.basis.n_basis,
+            time.perf_counter() - start,
+        )
+        return out
+
+    def first_order_dm(
+        self,
+        h1: np.ndarray,
+        inv_gaps: np.ndarray,
+        c_occ: np.ndarray,
+        c_virt: np.ndarray,
+        f_occ: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(U, C^(1), P^(1))`` from a response Hamiltonian (DM phase)."""
+        start = time.perf_counter()
+        out = self._dm_impl(h1, inv_gaps, c_occ, c_virt, f_occ)
+        self.profile.record(
+            "DM", int(np.asarray(h1).size), time.perf_counter() - start
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    # Shared implementations (batch-ordered; overridable for devices)
+    # ------------------------------------------------------------------
+    def _density_impl(self, p: np.ndarray) -> np.ndarray:
+        builder = self._require_bound()
+        out = np.zeros(builder.grid.n_points)
+        for b in builder.batches:
+            out[b.point_indices] = density_block(self.basis_block(b), p)
+        return out
+
+    def _potential_impl(self, v: np.ndarray) -> np.ndarray:
+        from repro.utils.linalg import symmetrize
+
+        builder = self._require_bound()
+        wv = builder.grid.weights * v
+        nb = builder.basis.n_basis
+        acc = np.zeros((nb, nb))
+        for b in builder.batches:
+            acc += potential_block(self.basis_block(b), wv[b.point_indices])
+        return symmetrize(acc)
+
+    def _dm_impl(
+        self,
+        h1: np.ndarray,
+        inv_gaps: np.ndarray,
+        c_occ: np.ndarray,
+        c_virt: np.ndarray,
+        f_occ: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return first_order_dm_dense(h1, inv_gaps, c_occ, c_virt, f_occ)
+
+    # ------------------------------------------------------------------
+    def _evaluate_block(self, batch: GridBatch) -> np.ndarray:
+        """Evaluate one batch's basis block for real (profiled)."""
+        builder = self._require_bound()
+        start = time.perf_counter()
+        phi_b = builder.basis.evaluate(
+            builder.grid.points[batch.point_indices], atoms=batch.relevant_atoms
+        )
+        self.profile.record(
+            "basis",
+            batch.n_points * builder.basis.n_basis,
+            time.perf_counter() - start,
+        )
+        return phi_b
+
+    def __repr__(self) -> str:
+        bound = "bound" if self.builder is not None else "unbound"
+        return f"{type(self).__name__}(name={self.name!r}, {bound})"

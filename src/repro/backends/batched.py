@@ -1,0 +1,104 @@
+"""Batch-local streaming backend with a bounded LRU block cache.
+
+The paper's Alg. 1 locality payoff applied to the single-node hot path:
+instead of one O(grid) basis table, per-:class:`GridBatch` chi blocks
+stream through a byte-bounded LRU cache and every contraction is
+accumulated batch by batch.  Memory stays O(cache bound) no matter how
+large the grid grows, and — unlike the legacy over-``_CACHE_LIMIT``
+path — blocks that fit the cache are *never* re-evaluated across
+SCF/CPSCF cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.registry import register_backend
+from repro.errors import BackendError
+from repro.grids.batching import GridBatch
+
+#: Default block-cache budget (bytes); ~64 MiB holds every block of the
+#: molecules the physics path targets while staying strictly bounded.
+DEFAULT_CACHE_BYTES: int = 64 << 20
+
+
+class BlockCache:
+    """Byte-bounded LRU cache of per-batch basis blocks.
+
+    Keys are batch indices; values are ``(batch_points, n_basis)``
+    arrays.  Eviction is strict LRU, except that the most recently
+    inserted block always survives (a single block larger than the
+    budget must still be usable — it is simply evicted by the next
+    insertion).
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 0:
+            raise BackendError(f"cache budget must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._blocks: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._blocks
+
+    def get(self, key: int) -> Optional[np.ndarray]:
+        """The cached block, refreshed to most-recently-used; else None."""
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return block
+
+    def put(self, key: int, block: np.ndarray) -> None:
+        """Insert a block, evicting least-recently-used ones over budget."""
+        if key in self._blocks:
+            self.current_bytes -= int(self._blocks.pop(key).nbytes)
+        self._blocks[key] = block
+        self.current_bytes += int(block.nbytes)
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+        while self.current_bytes > self.max_bytes and len(self._blocks) > 1:
+            _, evicted = self._blocks.popitem(last=False)
+            self.current_bytes -= int(evicted.nbytes)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self.current_bytes = 0
+
+
+@register_backend("batched")
+class BatchedBackend(ExecutionBackend):
+    """Streaming backend: O(batch) working set, LRU-cached blocks."""
+
+    def __init__(self, max_cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        super().__init__()
+        self.cache = BlockCache(max_cache_bytes)
+        self.profile.cache_max_bytes = self.cache.max_bytes
+
+    def basis_block(self, batch: GridBatch) -> np.ndarray:
+        block = self.cache.get(batch.index)
+        if block is None:
+            block = self._evaluate_block(batch)
+            self.cache.put(batch.index, block)
+        self._sync_cache_stats()
+        return block
+
+    def _sync_cache_stats(self) -> None:
+        self.profile.cache_hits = self.cache.hits
+        self.profile.cache_misses = self.cache.misses
+        self.profile.cache_evictions = self.cache.evictions
+        self.profile.cache_peak_bytes = self.cache.peak_bytes

@@ -4,6 +4,7 @@ Mirrors the artifact's workflow (geometry file in, timings and physical
 results out):
 
     python -m repro physics geometry.in --level minimal
+    python -m repro physics geometry.in --backend batched
     python -m repro model geometry.in --machine hpc2 --ranks 2048
     python -m repro model --polyethylene 30002 --machine hpc1 --ranks 4096 --baseline
     python -m repro chaos --seed 2023 --machine hpc2 --ranks 8
@@ -24,8 +25,9 @@ from repro.atoms.io import read_geometry_in
 from repro.config import get_settings
 from repro.core import OptimizationFlags, PerturbationSimulator
 from repro.dfpt.polarizability import isotropic_polarizability
+from repro.backends import available_backends
 from repro.runtime import HPC1_SUNWAY, HPC2_AMD, machine_by_name
-from repro.utils.reports import format_bytes, format_seconds
+from repro.utils.reports import format_backend_profile, format_bytes, format_seconds
 
 
 def _load_structure(args: argparse.Namespace):
@@ -38,8 +40,9 @@ def _load_structure(args: argparse.Namespace):
 
 def _cmd_physics(args: argparse.Namespace) -> int:
     structure = _load_structure(args)
-    settings = get_settings(args.level)
-    print(f"Running all-electron DFPT on {structure} (level={args.level})")
+    settings = get_settings(args.level, backend=args.backend)
+    print(f"Running all-electron DFPT on {structure} "
+          f"(level={args.level}, backend={args.backend})")
     sim = PerturbationSimulator(structure, settings, charge=args.charge)
     result = sim.run_physics()
     gs = result.ground_state
@@ -50,6 +53,13 @@ def _cmd_physics(args: argparse.Namespace) -> int:
     for row in result.polarizability:
         print("  " + "  ".join(f"{v:10.4f}" for v in row))
     print(f"isotropic alpha: {isotropic_polarizability(result.polarizability):.4f} a.u.")
+    print()
+    print("per-phase wall time (SCF + CPSCF):")
+    for phase, seconds in result.phase_seconds.items():
+        print(f"  {phase:12s} {format_seconds(seconds):>12s}")
+    if result.backend_profile is not None:
+        print()
+        print(format_backend_profile(result.backend_profile))
     return 0
 
 
@@ -145,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_phys = sub.add_parser("physics", help="run the real SCF + CPSCF pipeline")
     add_common(p_phys, physics=True)
     p_phys.add_argument("--charge", type=int, default=0)
+    p_phys.add_argument(
+        "--backend",
+        default="numpy",
+        choices=available_backends(),
+        help="execution backend for the DM/Sumup/H phases",
+    )
     p_phys.set_defaults(func=_cmd_physics)
 
     p_model = sub.add_parser("model", help="price a configuration at scale")

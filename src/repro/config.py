@@ -61,6 +61,10 @@ class RunSettings:
     l_max_hartree: int = 6
     #: Exchange-correlation functional identifier (only LDA implemented).
     xc: str = "lda"
+    #: Execution backend for the grid-heavy phases: ``"numpy"`` (full
+    #: cached table, the reference), ``"batched"`` (bounded LRU block
+    #: streaming) or ``"device"`` (priced OpenCL-model launches).
+    backend: str = "numpy"
 
     def with_grids(self, **kwargs) -> "RunSettings":
         """Return a copy with modified grid settings."""

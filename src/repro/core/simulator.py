@@ -14,11 +14,14 @@ One object, two modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.atoms.structure import Structure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends.base import BackendProfile, ExecutionBackend
 from repro.config import RunSettings, get_settings
 from repro.core.flags import OptimizationFlags
 from repro.core.phasemodel import PhaseBreakdown, PhaseCalibration, PhaseModel
@@ -49,6 +52,7 @@ class PhysicsResult:
     polarizability: np.ndarray
     phase_seconds: Dict[str, float]
     cpscf_iterations_per_direction: List[int] = field(default_factory=list)
+    backend_profile: Optional["BackendProfile"] = None
 
 
 @dataclass
@@ -85,10 +89,12 @@ class PerturbationSimulator:
         structure: Structure,
         settings: Optional[RunSettings] = None,
         charge: int = 0,
+        backend: Union[str, "ExecutionBackend", None] = None,
     ) -> None:
         self.structure = structure
         self.settings = settings or get_settings("light")
         self.charge = charge
+        self.backend = backend
         self._workload: Optional[Workload] = None
         self._batches: Optional[List[GridBatch]] = None
         self._assignments: Dict[tuple, BatchAssignment] = {}
@@ -105,7 +111,11 @@ class PerturbationSimulator:
         """
         timer = PhaseTimer()
         driver = SCFDriver(
-            self.structure, self.settings, charge=self.charge, timer=timer
+            self.structure,
+            self.settings,
+            charge=self.charge,
+            timer=timer,
+            backend=self.backend,
         )
         gs = driver.run()
         solver = DFPTSolver(gs, self.settings.cpscf, timer=timer)
@@ -120,6 +130,7 @@ class PerturbationSimulator:
             polarizability=alpha,
             phase_seconds=timer.as_dict(),
             cpscf_iterations_per_direction=iterations,
+            backend_profile=driver.backend.profile,
         )
 
     # ------------------------------------------------------------------

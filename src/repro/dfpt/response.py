@@ -20,14 +20,16 @@ stationary.  Phase names deliberately match the paper's artifact
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.config import CPSCFSettings
 from repro.constants import EIGENVALUE_GAP_FLOOR
-from repro.dft.density import density_on_grid
 from repro.dft.scf import GroundState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends.base import ExecutionBackend
 from repro.dft.xc import lda_xc_kernel
 from repro.errors import CPSCFConvergenceError
 from repro.runtime.faults import CycleFaultInjector
@@ -68,11 +70,20 @@ class DFPTSolver:
         settings: Optional[CPSCFSettings] = None,
         timer: Optional[PhaseTimer] = None,
         fault_injector: Optional[CycleFaultInjector] = None,
+        backend: Union[str, "ExecutionBackend", None] = None,
     ) -> None:
         self.gs = ground_state
         self.settings = settings or CPSCFSettings()
         self.timer = timer or PhaseTimer()
         self.fault_injector = fault_injector
+        if backend is None:
+            # Share the ground state's backend (and its profile), so SCF
+            # and CPSCF run the same execution engine end to end.
+            self.backend = ground_state.builder.backend
+        else:
+            from repro.backends.registry import resolve_backend
+
+            self.backend = resolve_backend(backend, ground_state.builder)
         # The xc kernel is a ground-state property; compute it once.
         self._fxc = lda_xc_kernel(ground_state.density)
 
@@ -97,14 +108,13 @@ class DFPTSolver:
         self._inv_gaps = 1.0 / gaps
 
     # ------------------------------------------------------------------
-    def _first_order_dm(self, h1: np.ndarray) -> tuple:
+    def _first_order_dm(
+        self, h1: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """DM phase: U_ai, C^(1) and P^(1) from a response Hamiltonian."""
-        h1_vo = self._c_virt.T @ h1 @ self._c_occ  # (n_virt, n_occ)
-        u = h1_vo * self._inv_gaps
-        c1_occ = self._c_virt @ u  # (n_basis, n_occ)
-        p1 = (c1_occ * self._f_occ[None, :]) @ self._c_occ.T
-        p1 = p1 + p1.T  # Eq. (7): C1 C + C C1
-        return u, c1_occ, p1
+        return self.backend.first_order_dm(
+            h1, self._inv_gaps, self._c_occ, self._c_virt, self._f_occ
+        )
 
     def solve_direction(self, direction: int) -> ResponseResult:
         """Run the CPSCF loop for one Cartesian field direction."""
@@ -128,13 +138,13 @@ class DFPTSolver:
             # discards this cycle's work and restarts from here.
             checkpoint = p1.copy()
             with self.timer.phase("Sumup"):
-                n1 = density_on_grid(gs.builder, p1)
+                n1 = self.backend.density_on_grid(p1)
             with self.timer.phase("Rho"):
                 v1_h = gs.solver.hartree_potential(n1)
             with self.timer.phase("H"):
                 v1_xc = self._fxc * n1
                 v1_total = v1_h + v1_xc
-                h1 = h1_ext + gs.builder.potential_matrix(v1_total)
+                h1 = h1_ext + self.backend.potential_matrix(v1_total)
             with self.timer.phase("DM"):
                 _, c1, p1_new = self._first_order_dm(h1)
 
@@ -150,7 +160,7 @@ class DFPTSolver:
             residual = float(np.abs(p1_new - p1).max())
             p1 = p1 + cfg.mixing_factor * (p1_new - p1)
             if residual < cfg.response_tolerance:
-                n1 = density_on_grid(gs.builder, p1)
+                n1 = self.backend.density_on_grid(p1)
                 return ResponseResult(
                     direction=direction,
                     response_density_matrix=p1,
@@ -170,6 +180,6 @@ class DFPTSolver:
             residual=residual,
         )
 
-    def solve_all(self) -> list:
+    def solve_all(self) -> List[ResponseResult]:
         """Responses for all three field directions."""
         return [self.solve_direction(j) for j in range(3)]

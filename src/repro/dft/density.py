@@ -1,8 +1,11 @@
 """Electron density (and response density) on the grid — Eqs. (3) and (8).
 
-``n(r) = sum_mu_nu P_mu_nu chi_mu(r) chi_nu(r)`` evaluated from a cached
-basis-value table; the same routine serves the ground-state density from
-P and the response density from P^(1) (the paper's "Sumup" phase).
+``n(r) = sum_mu_nu P_mu_nu chi_mu(r) chi_nu(r)``; the same routine
+serves the ground-state density from P and the response density from
+P^(1) (the paper's "Sumup" phase).  The contraction is executed by the
+builder's :class:`~repro.backends.base.ExecutionBackend`, batch by
+batch, as ``((phi_b @ P) * phi_b).sum(axis=1)`` — two GEMM-shaped
+passes per batch instead of an n_basis^2 loop.
 """
 
 from __future__ import annotations
@@ -13,14 +16,5 @@ from repro.dft.hamiltonian import MatrixBuilder
 
 
 def density_on_grid(builder: MatrixBuilder, density_matrix: np.ndarray) -> np.ndarray:
-    """Pointwise density for one density matrix.
-
-    Contraction is organised as ``((phi @ P) * phi).sum(axis=1)`` —
-    two GEMM-shaped passes instead of an n_basis^2 loop.
-    """
-    p = np.asarray(density_matrix, dtype=float)
-    nb = builder.basis.n_basis
-    if p.shape != (nb, nb):
-        raise ValueError(f"density matrix shape {p.shape}, basis size {nb}")
-    phi = builder.basis_values()
-    return np.einsum("pi,pi->p", phi @ p, phi, optimize=True)
+    """Pointwise density for one density matrix (backend-dispatched)."""
+    return builder.backend.density_on_grid(density_matrix)

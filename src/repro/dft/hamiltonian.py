@@ -5,19 +5,28 @@ produces the density-independent matrices once (overlap, kinetic,
 nuclear attraction, dipole) plus cheap re-integration of potential
 matrices every SCF/CPSCF cycle — the computational pattern of the
 paper's "H" phase, executed batch by batch.
+
+All grid contractions dispatch through the builder's
+:class:`~repro.backends.base.ExecutionBackend` (``numpy`` by default),
+so the same driver code runs on the full-table reference path, the
+batch-streaming LRU path or the priced device-kernel path — bit-exact
+across all three.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import warnings
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
 from repro.basis.basis_set import BasisSet
-from repro.errors import GridError
 from repro.grids.atom_grid import IntegrationGrid
 from repro.grids.batching import GridBatch, attach_relevant_atoms, build_batches
 from repro.utils.linalg import symmetrize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends.base import ExecutionBackend
 
 #: Cache chi(point) tables when n_points * n_basis stays below this.
 _CACHE_LIMIT: int = 40_000_000
@@ -34,6 +43,15 @@ class MatrixBuilder:
         Integration grid with partition weights available.
     batches:
         Optional pre-built batch list; built on demand otherwise.
+    backend:
+        Execution backend for the grid contractions: a registry name
+        (``"numpy"``, ``"batched"``, ``"device"``), a configured
+        :class:`~repro.backends.base.ExecutionBackend` instance, or
+        ``None`` for the default reference backend.
+    cache_limit:
+        Override of the full-table element budget (``n_points *
+        n_basis``); defaults to the module-level ``_CACHE_LIMIT``.
+        Tests and benchmarks lower it to exercise the streaming paths.
     """
 
     def __init__(
@@ -41,6 +59,8 @@ class MatrixBuilder:
         basis: BasisSet,
         grid: IntegrationGrid,
         batches: Optional[List[GridBatch]] = None,
+        backend: Union[str, "ExecutionBackend", None] = None,
+        cache_limit: Optional[int] = None,
     ) -> None:
         self.basis = basis
         self.grid = grid
@@ -53,7 +73,18 @@ class MatrixBuilder:
             batches = attach_relevant_atoms(batches, grid.structure, basis.atom_cutoffs)
         self.batches = batches
         self._values_cache: Optional[np.ndarray] = None
-        self._use_cache = grid.n_points * basis.n_basis <= _CACHE_LIMIT
+        self._cache_limit = _CACHE_LIMIT if cache_limit is None else int(cache_limit)
+        self._use_cache = grid.n_points * basis.n_basis <= self._cache_limit
+        self._thrash_warned = False
+
+        from repro.backends.registry import resolve_backend
+
+        self.backend = resolve_backend(backend, self)
+
+    @property
+    def table_cache_enabled(self) -> bool:
+        """Whether the full chi table fits the element budget."""
+        return self._use_cache
 
     # ------------------------------------------------------------------
     # Basis tables
@@ -61,6 +92,17 @@ class MatrixBuilder:
     def basis_values(self) -> np.ndarray:
         """chi_mu at every grid point, ``(n_points, n_basis)`` (cached)."""
         if self._values_cache is None:
+            if not self._use_cache and not self._thrash_warned:
+                self._thrash_warned = True
+                warnings.warn(
+                    f"basis table ({self.grid.n_points} x {self.basis.n_basis} "
+                    f"elements) exceeds the cache limit ({self._cache_limit}); "
+                    "every basis_values() call re-evaluates the full grid. "
+                    "Use the 'batched' execution backend for bounded-memory "
+                    "streaming without re-evaluation.",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             values = np.zeros((self.grid.n_points, self.basis.n_basis))
             for b in self.batches:
                 idx = b.point_indices
@@ -77,9 +119,7 @@ class MatrixBuilder:
     # ------------------------------------------------------------------
     def overlap(self) -> np.ndarray:
         """S_mu_nu = <chi_mu | chi_nu>."""
-        phi = self.basis_values()
-        w = self.grid.weights
-        return symmetrize(phi.T @ (phi * w[:, None]))
+        return self.potential_matrix(np.ones(self.grid.n_points))
 
     def kinetic(self) -> np.ndarray:
         """T_mu_nu = (1/2) <grad chi_mu | grad chi_nu> (by parts)."""
@@ -114,12 +154,9 @@ class MatrixBuilder:
 
     def dipole_matrices(self) -> np.ndarray:
         """D^J_mu_nu = <chi_mu | r_J | chi_nu>, shape ``(3, n, n)``."""
-        phi = self.basis_values()
-        w = self.grid.weights
         out = np.empty((3, self.basis.n_basis, self.basis.n_basis))
         for j in range(3):
-            rj = self.grid.points[:, j]
-            out[j] = symmetrize(phi.T @ (phi * (w * rj)[:, None]))
+            out[j] = self.potential_matrix(self.grid.points[:, j])
         return out
 
     # ------------------------------------------------------------------
@@ -127,12 +164,4 @@ class MatrixBuilder:
     # ------------------------------------------------------------------
     def potential_matrix(self, potential_values: np.ndarray) -> np.ndarray:
         """V_mu_nu = <chi_mu | v | chi_nu> for a pointwise potential."""
-        potential_values = np.asarray(potential_values, dtype=float)
-        if potential_values.shape[0] != self.grid.n_points:
-            raise GridError(
-                f"{potential_values.shape[0]} potential samples for "
-                f"{self.grid.n_points} grid points"
-            )
-        phi = self.basis_values()
-        wv = self.grid.weights * potential_values
-        return symmetrize(phi.T @ (phi * wv[:, None]))
+        return self.backend.potential_matrix(potential_values)

@@ -11,14 +11,16 @@ DFPT validation is produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 import numpy as np
 
 from repro.atoms.structure import Structure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends.base import ExecutionBackend
 from repro.basis.basis_set import BasisSet, build_basis
 from repro.config import RunSettings, get_settings
-from repro.dft.density import density_on_grid
 from repro.dft.hamiltonian import MatrixBuilder
 from repro.dft.hartree import MultipoleSolver
 from repro.dft.mixing import PulayMixer
@@ -77,6 +79,7 @@ class SCFDriver:
         settings: Optional[RunSettings] = None,
         charge: int = 0,
         timer: Optional[PhaseTimer] = None,
+        backend: Union[str, "ExecutionBackend", None] = None,
     ) -> None:
         self.structure = structure
         self.settings = settings or get_settings("light")
@@ -99,7 +102,12 @@ class SCFDriver:
 
         self.basis = build_basis(structure)
         self.grid = build_grid(structure, self.settings.grids, with_partition=True)
-        self.builder = MatrixBuilder(self.basis, self.grid)
+        self.builder = MatrixBuilder(
+            self.basis,
+            self.grid,
+            backend=backend if backend is not None else self.settings.backend,
+        )
+        self.backend = self.builder.backend
         self.solver = MultipoleSolver(self.grid, self.settings.l_max_hartree)
 
         with self.timer.phase("integrals"):
@@ -179,13 +187,13 @@ class SCFDriver:
             # below discards this cycle's work and restarts from here.
             checkpoint = p.copy()
             with self.timer.phase("density"):
-                n_values = density_on_grid(self.builder, p)
+                n_values = self.backend.density_on_grid(p)
             with self.timer.phase("hartree"):
                 v_h_values = self.solver.hartree_potential(n_values)
             with self.timer.phase("xc"):
                 xc = lda_exchange_correlation(n_values)
             with self.timer.phase("hamiltonian"):
-                v_eff = self.builder.potential_matrix(v_h_values + xc.vxc)
+                v_eff = self.backend.potential_matrix(v_h_values + xc.vxc)
                 h = self._t + self._v_ext + v_eff + h_field
 
             # Fault check sits before the DIIS push so a rolled-back
@@ -224,7 +232,7 @@ class SCFDriver:
             p = p_new
 
             if delta_e < scf.energy_tolerance and delta_p < scf.density_tolerance:
-                n_values = density_on_grid(self.builder, p)
+                n_values = self.backend.density_on_grid(p)
                 return GroundState(
                     structure=self.structure,
                     basis=self.basis,

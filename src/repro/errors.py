@@ -75,6 +75,10 @@ class ShmCorruptionError(CommunicationError):
     """A shared-memory window was corrupted by an injected fault."""
 
 
+class BackendError(ReproError):
+    """Execution-backend misuse (unknown name, unbound/rebound backend...)."""
+
+
 class DeviceError(ReproError):
     """Simulated OpenCL device misuse (buffer overflow, bad NDRange...)."""
 

@@ -53,7 +53,10 @@ class OpenCLDFPTKernels:
 
     # ------------------------------------------------------------------
     def _ndrange(self) -> NDRange:
-        items = max(1, self._n_points // max(1, len(self.batches)))
+        # One work-group per batch; work-items must cover the *largest*
+        # batch.  Sizing by the mean (n_points // n_batches) used to
+        # under-provision work-items whenever batches were uneven.
+        items = max(1, max((b.n_points for b in self.batches), default=1))
         return NDRange(n_groups=len(self.batches), items_per_group=items)
 
     def _launch(self, kernel: Kernel, buffers: Dict[str, DeviceBuffer]) -> None:

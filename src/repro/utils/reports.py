@@ -6,7 +6,10 @@ the output uniform (fixed-width tables, human-readable byte/second units).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends.base import BackendProfile
 
 
 def format_bytes(n: float) -> str:
@@ -33,6 +36,39 @@ def format_seconds(s: float) -> str:
     if s < 120.0:
         return f"{s:.3f} s"
     return f"{s / 60.0:.2f} min"
+
+
+def format_backend_profile(profile: "BackendProfile") -> str:
+    """Render a backend's per-phase profile as a fixed-width table.
+
+    One row per phase (calls, elements processed, wall seconds), plus
+    block-cache and device-launch summary lines when those counters are
+    live — the CLI's per-phase observability of the DM/Sumup/H work.
+    """
+    table = TableFormatter(
+        ["phase", "calls", "elements", "wall"],
+        title=f"backend profile [{profile.backend}]",
+    )
+    for name, stats in profile.phases.items():
+        table.add_row(
+            [name, stats.calls, f"{stats.elements:,}", format_seconds(stats.seconds)]
+        )
+    lines = [table.render()]
+    if profile.cache_hits or profile.cache_misses:
+        total = profile.cache_hits + profile.cache_misses
+        lines.append(
+            f"block cache: {profile.cache_hits}/{total} hits, "
+            f"{profile.cache_evictions} evictions, "
+            f"peak {format_bytes(profile.cache_peak_bytes)} "
+            f"(bound {format_bytes(profile.cache_max_bytes)})"
+        )
+    if profile.device_launches:
+        lines.append(
+            f"device: {profile.device_launches} launches, "
+            f"{format_seconds(profile.device_modeled_seconds)} modeled, "
+            f"{format_bytes(profile.device_bytes_transferred)} transferred"
+        )
+    return "\n".join(lines)
 
 
 class TableFormatter:

@@ -1,0 +1,385 @@
+"""Execution-backend seam: bit-exact parity, LRU cache, profiles, registry.
+
+The acceptance bar of the backend refactor is *bitwise* equality — not
+``allclose`` — between the ``numpy``, ``batched`` and ``device``
+backends for every phase operation, end to end through SCF and CPSCF.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.atoms import hydrogen_molecule, water
+from repro.backends import (
+    BackendProfile,
+    BatchedBackend,
+    BlockCache,
+    DeviceBackend,
+    NumpyBackend,
+    available_backends,
+    create_backend,
+)
+from repro.basis import build_basis
+from repro.config import get_settings
+from repro.dfpt.response import DFPTSolver
+from repro.dft import SCFDriver, density_on_grid
+from repro.dft.hamiltonian import MatrixBuilder
+from repro.errors import BackendError, GridError
+from repro.grids import build_batches, build_grid
+
+ALL_BACKENDS = ("numpy", "batched", "device")
+
+
+@pytest.fixture(scope="module", params=["h2", "water"])
+def substrate(request, minimal_settings):
+    """(basis, grid) for one molecule, built once per module."""
+    structure = hydrogen_molecule() if request.param == "h2" else water()
+    basis = build_basis(structure)
+    grid = build_grid(structure, minimal_settings.grids, with_partition=True)
+    return basis, grid
+
+
+@pytest.fixture(scope="module")
+def builders(substrate):
+    """One MatrixBuilder per backend, sharing the same batch list."""
+    basis, grid = substrate
+    reference = MatrixBuilder(basis, grid, backend="numpy")
+    out = {"numpy": reference}
+    for name in ("batched", "device"):
+        out[name] = MatrixBuilder(
+            basis, grid, batches=reference.batches, backend=name
+        )
+    return out
+
+
+class TestPhaseParity:
+    """numpy / batched / device must agree to the last bit."""
+
+    def test_overlap_bit_identical(self, builders):
+        s_ref = builders["numpy"].overlap()
+        for name in ("batched", "device"):
+            assert np.array_equal(s_ref, builders[name].overlap()), name
+
+    def test_kinetic_bit_identical(self, builders):
+        t_ref = builders["numpy"].kinetic()
+        for name in ("batched", "device"):
+            assert np.array_equal(t_ref, builders[name].kinetic()), name
+
+    def test_nuclear_attraction_bit_identical(self, builders):
+        v_ref = builders["numpy"].nuclear_attraction()
+        for name in ("batched", "device"):
+            assert np.array_equal(v_ref, builders[name].nuclear_attraction()), name
+
+    def test_potential_matrix_bit_identical(self, builders, rng):
+        v = rng.normal(size=builders["numpy"].grid.n_points)
+        m_ref = builders["numpy"].potential_matrix(v)
+        for name in ("batched", "device"):
+            assert np.array_equal(m_ref, builders[name].potential_matrix(v)), name
+
+    def test_dipoles_bit_identical(self, builders):
+        d_ref = builders["numpy"].dipole_matrices()
+        for name in ("batched", "device"):
+            assert np.array_equal(d_ref, builders[name].dipole_matrices()), name
+
+    def test_density_bit_identical(self, builders, rng):
+        nb = builders["numpy"].basis.n_basis
+        p = rng.normal(size=(nb, nb))
+        p = p + p.T
+        n_ref = density_on_grid(builders["numpy"], p)
+        for name in ("batched", "device"):
+            assert np.array_equal(n_ref, density_on_grid(builders[name], p)), name
+
+    def test_first_order_dm_bit_identical(self, builders, rng):
+        nb = builders["numpy"].basis.n_basis
+        n_occ = max(1, nb // 4)
+        n_virt = nb - n_occ
+        h1 = rng.normal(size=(nb, nb))
+        h1 = h1 + h1.T
+        c = rng.normal(size=(nb, nb))
+        args = (
+            h1,
+            rng.normal(size=(n_virt, n_occ)),
+            c[:, :n_occ],
+            c[:, n_occ:],
+            np.full(n_occ, 2.0),
+        )
+        ref = builders["numpy"].backend.first_order_dm(*args)
+        for name in ("batched", "device"):
+            out = builders[name].backend.first_order_dm(*args)
+            for a, b in zip(ref, out):
+                assert np.array_equal(a, b), name
+
+
+class TestEndToEndParity:
+    """Whole SCF + CPSCF trajectories must be bit-identical per backend."""
+
+    @pytest.fixture(scope="class")
+    def per_backend_runs(self, minimal_settings):
+        out = {}
+        for name in ALL_BACKENDS:
+            gs = SCFDriver(hydrogen_molecule(), minimal_settings, backend=name).run()
+            solver = DFPTSolver(gs, minimal_settings.cpscf)
+            alpha = np.empty((3, 3))
+            for j in range(3):
+                alpha[:, j] = solver.solve_direction(j).polarizability_column(
+                    gs.dipoles
+                )
+            out[name] = (gs, alpha)
+        return out
+
+    def test_total_energy_bit_identical(self, per_backend_runs):
+        e_ref = per_backend_runs["numpy"][0].total_energy
+        for name in ("batched", "device"):
+            assert per_backend_runs[name][0].total_energy == e_ref, name
+
+    def test_density_matrix_bit_identical(self, per_backend_runs):
+        p_ref = per_backend_runs["numpy"][0].density_matrix
+        for name in ("batched", "device"):
+            assert np.array_equal(
+                p_ref, per_backend_runs[name][0].density_matrix
+            ), name
+
+    def test_polarizability_bit_identical(self, per_backend_runs):
+        a_ref = per_backend_runs["numpy"][1]
+        for name in ("batched", "device"):
+            assert np.array_equal(a_ref, per_backend_runs[name][1]), name
+
+    def test_solver_inherits_ground_state_backend(self, minimal_settings):
+        gs = SCFDriver(
+            hydrogen_molecule(), minimal_settings, backend="batched"
+        ).run()
+        solver = DFPTSolver(gs, minimal_settings.cpscf)
+        assert solver.backend is gs.builder.backend
+        assert solver.backend.name == "batched"
+
+    def test_settings_select_backend(self, minimal_settings):
+        settings = get_settings("minimal", backend="batched")
+        driver = SCFDriver(hydrogen_molecule(), settings)
+        assert driver.backend.name == "batched"
+
+
+class TestParityUnderBatchAndCacheVariation:
+    @given(
+        target_points=st.integers(min_value=16, max_value=200),
+        cache_limit=st.sampled_from([0, 1_000, 10_000_000]),
+        max_cache_bytes=st.sampled_from([0, 4096, 64 << 20]),
+    )
+    @hsettings(max_examples=10, deadline=None)
+    def test_hypothesis_parity(self, target_points, cache_limit, max_cache_bytes):
+        h2 = hydrogen_molecule()
+        settings = get_settings("minimal")
+        basis = build_basis(h2)
+        grid = build_grid(h2, settings.grids, with_partition=True)
+        batches = build_batches(grid, target_points=target_points)
+        ref = MatrixBuilder(
+            basis, grid, batches=batches, backend="numpy", cache_limit=cache_limit
+        )
+        streaming = MatrixBuilder(
+            basis,
+            grid,
+            batches=ref.batches,
+            backend=BatchedBackend(max_cache_bytes=max_cache_bytes),
+            cache_limit=cache_limit,
+        )
+        rng = np.random.default_rng(target_points)
+        v = rng.normal(size=grid.n_points)
+        assert np.array_equal(ref.potential_matrix(v), streaming.potential_matrix(v))
+        nb = basis.n_basis
+        p = rng.normal(size=(nb, nb))
+        p = p + p.T
+        # Twice: the second pass exercises cache hits / thrash paths.
+        for _ in range(2):
+            assert np.array_equal(
+                density_on_grid(ref, p), density_on_grid(streaming, p)
+            )
+
+
+class TestBlockCache:
+    def _block(self, n_bytes):
+        return np.zeros(n_bytes // 8)
+
+    def test_hit_miss_counters(self):
+        cache = BlockCache(max_bytes=1 << 20)
+        assert cache.get(0) is None
+        cache.put(0, self._block(800))
+        assert cache.get(0) is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(max_bytes=2400)
+        for k in range(3):
+            cache.put(k, self._block(800))
+        cache.get(0)  # refresh 0 -> LRU order is now 1, 2, 0
+        cache.put(3, self._block(800))
+        assert 1 not in cache and 0 in cache and 2 in cache and 3 in cache
+        assert cache.evictions == 1
+
+    def test_byte_bound_respected(self):
+        cache = BlockCache(max_bytes=2000)
+        for k in range(10):
+            cache.put(k, self._block(800))
+            assert cache.current_bytes <= 2000
+        assert len(cache) == 2
+        assert cache.peak_bytes <= 2000 + 800  # transiently one block over
+
+    def test_oversized_block_survives_until_next_insert(self):
+        cache = BlockCache(max_bytes=100)
+        cache.put(0, self._block(800))
+        assert 0 in cache  # the only block is never evicted by its own put
+        cache.put(1, self._block(800))
+        assert 0 not in cache and 1 in cache
+
+    def test_reinsert_updates_bytes(self):
+        cache = BlockCache(max_bytes=1 << 20)
+        cache.put(0, self._block(800))
+        cache.put(0, self._block(1600))
+        assert cache.current_bytes == 1600
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(BackendError):
+            BlockCache(max_bytes=-1)
+
+
+class TestBackendProfile:
+    def test_phase_counters(self, minimal_settings):
+        h2 = hydrogen_molecule()
+        builder = MatrixBuilder(
+            build_basis(h2),
+            build_grid(h2, minimal_settings.grids, with_partition=True),
+            backend="batched",
+        )
+        backend = builder.backend
+        v = np.ones(builder.grid.n_points)
+        builder.potential_matrix(v)
+        nb = builder.basis.n_basis
+        backend.density_on_grid(np.eye(nb))
+        profile = backend.profile
+        assert profile.phases["H"].calls == 1
+        assert profile.phases["Sumup"].calls == 1
+        expected = builder.grid.n_points * nb
+        assert profile.phases["H"].elements == expected
+        assert profile.phases["Sumup"].elements == expected
+        assert profile.phases["H"].seconds >= 0.0
+        # Second Sumup pass hits the block cache instead of re-evaluating.
+        evaluations = profile.phases["basis"].calls
+        backend.density_on_grid(np.eye(nb))
+        assert profile.phases["basis"].calls == evaluations
+        assert profile.cache_hits > 0
+        assert profile.cache_peak_bytes <= profile.cache_max_bytes + (
+            max(b.n_points for b in builder.batches) * nb * 8
+        )
+
+    def test_device_launch_accounting(self, minimal_settings):
+        h2 = hydrogen_molecule()
+        builder = MatrixBuilder(
+            build_basis(h2),
+            build_grid(h2, minimal_settings.grids, with_partition=True),
+            backend="device",
+        )
+        backend = builder.backend
+        assert backend.profile.device_bytes_transferred > 0  # staged tables
+        builder.potential_matrix(np.ones(builder.grid.n_points))
+        assert backend.profile.device_launches == 1
+        assert backend.profile.device_modeled_seconds > 0.0
+
+    def test_profile_as_dict_round_trip(self):
+        profile = BackendProfile(backend="numpy")
+        profile.record("H", elements=10, seconds=0.5)
+        d = profile.as_dict()
+        assert d["backend"] == "numpy"
+        assert d["phases"]["H"] == {"calls": 1, "elements": 10, "seconds": 0.5}
+
+    def test_format_backend_profile(self, minimal_settings):
+        from repro.utils.reports import format_backend_profile
+
+        h2 = hydrogen_molecule()
+        builder = MatrixBuilder(
+            build_basis(h2),
+            build_grid(h2, minimal_settings.grids, with_partition=True),
+            backend="batched",
+        )
+        builder.overlap()
+        builder.overlap()
+        text = format_backend_profile(builder.backend.profile)
+        assert "backend profile [batched]" in text
+        assert "H" in text and "block cache" in text
+
+
+class TestRegistryAndValidation:
+    def test_available_backends(self):
+        assert set(ALL_BACKENDS) <= set(available_backends())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BackendError, match="unknown execution backend"):
+            create_backend("cuda")
+
+    def test_unbound_use_raises(self):
+        with pytest.raises(BackendError, match="not bound"):
+            NumpyBackend().density_on_grid(np.eye(2))
+
+    def test_rebinding_to_other_builder_raises(self, minimal_settings):
+        h2 = hydrogen_molecule()
+        basis = build_basis(h2)
+        grid = build_grid(h2, minimal_settings.grids, with_partition=True)
+        backend = BatchedBackend()
+        first = MatrixBuilder(basis, grid, backend=backend)
+        assert first.backend is backend
+        with pytest.raises(BackendError, match="already bound"):
+            MatrixBuilder(basis, grid, batches=first.batches, backend=backend)
+
+    def test_instance_accepted_end_to_end(self, minimal_settings):
+        backend = DeviceBackend()
+        driver = SCFDriver(hydrogen_molecule(), minimal_settings, backend=backend)
+        assert driver.backend is backend
+        gs = driver.run()
+        assert backend.profile.device_launches > 0
+        assert gs.total_energy < -1.0
+
+    def test_bad_spec_type_raises(self, minimal_settings):
+        h2 = hydrogen_molecule()
+        with pytest.raises(BackendError, match="name or ExecutionBackend"):
+            MatrixBuilder(
+                build_basis(h2),
+                build_grid(h2, minimal_settings.grids, with_partition=True),
+                backend=42,
+            )
+
+    def test_shape_validation(self, builders):
+        backend = builders["numpy"].backend
+        with pytest.raises(ValueError, match="density matrix shape"):
+            backend.density_on_grid(np.eye(backend.builder.basis.n_basis + 1))
+        with pytest.raises(GridError, match="potential samples"):
+            backend.potential_matrix(np.ones(7))
+
+
+class TestCacheLimitThrash:
+    def test_basis_values_warns_once_over_limit(self, minimal_settings):
+        h2 = hydrogen_molecule()
+        builder = MatrixBuilder(
+            build_basis(h2),
+            build_grid(h2, minimal_settings.grids, with_partition=True),
+            cache_limit=0,
+        )
+        assert not builder.table_cache_enabled
+        with pytest.warns(RuntimeWarning, match="cache limit"):
+            builder.basis_values()
+        # Warned once per builder, not per call.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            builder.basis_values()
+
+    def test_numpy_backend_streams_over_limit(self, minimal_settings):
+        """Over the limit the reference backend must not rebuild the full
+        table per call — it evaluates per batch (the profiled path)."""
+        h2 = hydrogen_molecule()
+        builder = MatrixBuilder(
+            build_basis(h2),
+            build_grid(h2, minimal_settings.grids, with_partition=True),
+            cache_limit=0,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # basis_values() must not be hit
+            builder.overlap()
+        assert builder.backend.profile.phases["basis"].calls == len(builder.batches)

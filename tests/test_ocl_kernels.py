@@ -103,3 +103,34 @@ class TestPipeline:
         p1 = pipeline.iterate(np.zeros((nb, nb)), direction=0)
         assert p1.shape == (nb, nb)
         assert np.allclose(p1, p1.T)
+
+
+class TestNDRangeSizing:
+    def test_items_cover_largest_batch(self, h2_ground_state):
+        """Regression: the NDRange used to size work-items by the *mean*
+        batch (n_points // n_batches), under-provisioning whenever the
+        batches were uneven.  It must cover the largest batch."""
+        from types import SimpleNamespace
+
+        kernels = OpenCLDFPTKernels(h2_ground_state, Device(HPC2_AMD.accelerator))
+        kernels.batches = [
+            SimpleNamespace(n_points=n) for n in (4, 4, 4, 4, 4, 4, 4, 100)
+        ]
+        nd = kernels._ndrange()
+        assert nd.n_groups == 8
+        # Mean sizing would give 128 // 8 = 16 items — too few for the
+        # 100-point batch; every batch must fit in one work-group.
+        assert nd.items_per_group == 100
+
+    def test_real_batches_cover_every_batch(self, h2_ground_state):
+        kernels = OpenCLDFPTKernels(h2_ground_state, Device(HPC2_AMD.accelerator))
+        nd = kernels._ndrange()
+        assert nd.items_per_group >= max(b.n_points for b in kernels.batches)
+
+    def test_empty_batches_rejected(self, h2_ground_state):
+        from repro.errors import DeviceError
+
+        kernels = OpenCLDFPTKernels(h2_ground_state, Device(HPC2_AMD.accelerator))
+        kernels.batches = []
+        with pytest.raises(DeviceError, match="NDRange must be positive"):
+            kernels._ndrange()
