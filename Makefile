@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test chaos smoke bench-smoke
+.PHONY: test chaos smoke bench-smoke verify
 
 # Tier-1: the fast default profile (chaos sweeps deselected via addopts).
 test:
@@ -21,3 +21,8 @@ smoke:
 # over-cache-limit system; writes BENCH_backends.json at the repo root.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py --quick
+
+# Physics-invariant + golden + differential-conformance check on H2.
+# `python -m repro verify` (no args) covers both reference molecules.
+verify:
+	PYTHONPATH=src $(PYTHON) -m repro verify --molecule h2

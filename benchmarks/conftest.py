@@ -13,6 +13,22 @@ subset that runs in a few minutes.
 
 from __future__ import annotations
 
+import pytest
+
+from repro.testing import fixtures as _factories
+
+
+@pytest.fixture
+def make_machine():
+    """Factory fixture over :func:`repro.testing.fixtures.make_machine`."""
+    return _factories.make_machine
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory fixture over :func:`repro.testing.fixtures.make_cluster`."""
+    return _factories.make_cluster
+
 
 def emit(benchmark, table: str) -> None:
     """Attach a rendered figure table to the benchmark and print it."""

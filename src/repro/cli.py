@@ -8,6 +8,7 @@ results out):
     python -m repro model geometry.in --machine hpc2 --ranks 2048
     python -m repro model --polyethylene 30002 --machine hpc1 --ranks 4096 --baseline
     python -m repro chaos --seed 2023 --machine hpc2 --ranks 8
+    python -m repro verify --molecule h2
     python -m repro info
 """
 
@@ -40,7 +41,7 @@ def _load_structure(args: argparse.Namespace):
 
 def _cmd_physics(args: argparse.Namespace) -> int:
     structure = _load_structure(args)
-    settings = get_settings(args.level, backend=args.backend)
+    settings = get_settings(args.level, backend=args.backend, verify=args.verify)
     print(f"Running all-electron DFPT on {structure} "
           f"(level={args.level}, backend={args.backend})")
     sim = PerturbationSimulator(structure, settings, charge=args.charge)
@@ -60,6 +61,70 @@ def _cmd_physics(args: argparse.Namespace) -> int:
     if result.backend_profile is not None:
         print()
         print(format_backend_profile(result.backend_profile))
+    if result.verify_report is not None:
+        from repro.utils.reports import format_verify_report
+
+        print()
+        print(format_verify_report(result.verify_report))
+        if not result.verify_report.ok:
+            return 1
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.atoms import hydrogen_molecule  # noqa: F401 (registry import)
+    from repro.utils.reports import format_verify_report
+    from repro.verify import (
+        GOLDEN_MOLECULES,
+        compare_to_golden,
+        record_from_run,
+        run_conformance,
+        save_golden,
+    )
+
+    molecules = (
+        sorted(GOLDEN_MOLECULES) if args.molecule == "all" else [args.molecule]
+    )
+    failed: List[str] = []
+    for name in molecules:
+        structure = GOLDEN_MOLECULES[name]()
+        settings = get_settings(args.level, verify="full")
+        print(f"=== {name}: invariants (level={args.level}, verify=full) ===")
+        sim = PerturbationSimulator(structure, settings)
+        result = sim.run_physics()
+        report = result.verify_report
+        print(format_verify_report(report))
+        if not report.ok:
+            failed.append(f"{name}:invariants")
+
+        record = record_from_run(
+            result.ground_state, result.polarizability, structure.n_electrons
+        )
+        if args.update_golden:
+            from repro.verify import golden_path
+
+            save_golden(name, record, level=args.level, allow_update=True)
+            print(f"golden updated: {golden_path(name)}")
+        else:
+            print(f"\n=== {name}: golden comparison ===")
+            golden_report = compare_to_golden(name, record)
+            print(format_verify_report(golden_report))
+            if not golden_report.ok:
+                failed.append(f"{name}:golden")
+
+        if not args.skip_conformance:
+            print(f"\n=== {name}: differential conformance ===")
+            conf = run_conformance(
+                structure, level=args.level, n_ranks=args.ranks
+            )
+            print(conf.render())
+            if not conf.ok:
+                failed.append(f"{name}:conformance")
+        print()
+    if failed:
+        print("VERIFICATION FAILED: " + ", ".join(failed))
+        return 1
+    print("verification passed for: " + ", ".join(molecules))
     return 0
 
 
@@ -161,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         help="execution backend for the DM/Sumup/H phases",
     )
+    p_phys.add_argument(
+        "--verify",
+        default="off",
+        choices=["off", "cheap", "full"],
+        help="run physics-invariant checks at phase boundaries",
+    )
     p_phys.set_defaults(func=_cmd_physics)
 
     p_model = sub.add_parser("model", help="price a configuration at scale")
@@ -189,6 +260,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--cycle-fault-rate", type=float, default=0.0,
                          help="per-SCF/CPSCF-cycle fault probability")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="invariants + goldens + differential conformance on the "
+        "reference molecules",
+    )
+    p_verify.add_argument("--molecule", default="all",
+                          choices=["h2", "water", "all"])
+    p_verify.add_argument("--level", default="minimal",
+                          choices=["minimal", "light", "tight"])
+    p_verify.add_argument("--ranks", type=int, default=4,
+                          help="simulated ranks for the comm-scheme axis")
+    p_verify.add_argument("--update-golden", action="store_true",
+                          help="regenerate the committed golden snapshots "
+                          "instead of comparing against them")
+    p_verify.add_argument("--skip-conformance", action="store_true",
+                          help="invariants and goldens only")
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_info = sub.add_parser("info", help="show the machine presets")
     p_info.set_defaults(func=_cmd_info)

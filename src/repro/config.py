@@ -65,6 +65,12 @@ class RunSettings:
     #: cached table, the reference), ``"batched"`` (bounded LRU block
     #: streaming) or ``"device"`` (priced OpenCL-model launches).
     backend: str = "numpy"
+    #: Physics-invariant verification level: ``"off"`` (no checks),
+    #: ``"cheap"`` (O(n_basis^2) algebra at phase boundaries) or
+    #: ``"full"`` (adds independent re-derivations: fresh basis
+    #: evaluation, Hartree rebuild, Gauss-law far field).  See
+    #: :mod:`repro.verify.invariants`.
+    verify: str = "off"
 
     def with_grids(self, **kwargs) -> "RunSettings":
         """Return a copy with modified grid settings."""

@@ -22,6 +22,7 @@ from repro.atoms.structure import Structure
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.backends.base import BackendProfile, ExecutionBackend
+    from repro.verify.invariants import VerifyReport
 from repro.config import RunSettings, get_settings
 from repro.core.flags import OptimizationFlags
 from repro.core.phasemodel import PhaseBreakdown, PhaseCalibration, PhaseModel
@@ -53,6 +54,7 @@ class PhysicsResult:
     phase_seconds: Dict[str, float]
     cpscf_iterations_per_direction: List[int] = field(default_factory=list)
     backend_profile: Optional["BackendProfile"] = None
+    verify_report: Optional["VerifyReport"] = None
 
 
 @dataclass
@@ -118,19 +120,24 @@ class PerturbationSimulator:
             backend=self.backend,
         )
         gs = driver.run()
-        solver = DFPTSolver(gs, self.settings.cpscf, timer=timer)
+        solver = DFPTSolver(
+            gs, self.settings.cpscf, timer=timer, verifier=driver.verifier
+        )
         alpha = np.empty((3, 3))
         iterations = []
         for j in range(3):
             result = solver.solve_direction(j)
             alpha[:, j] = result.polarizability_column(gs.dipoles)
             iterations.append(result.iterations)
+        if driver.verifier is not None:
+            driver.verifier.run_phase("polarizability", polarizability=alpha)
         return PhysicsResult(
             ground_state=gs,
             polarizability=alpha,
             phase_seconds=timer.as_dict(),
             cpscf_iterations_per_direction=iterations,
             backend_profile=driver.backend.profile,
+            verify_report=driver.verifier.report if driver.verifier else None,
         )
 
     # ------------------------------------------------------------------

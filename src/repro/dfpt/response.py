@@ -30,6 +30,7 @@ from repro.dft.scf import GroundState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.backends.base import ExecutionBackend
+    from repro.verify.invariants import Verifier
 from repro.dft.xc import lda_xc_kernel
 from repro.errors import CPSCFConvergenceError
 from repro.runtime.faults import CycleFaultInjector
@@ -71,11 +72,13 @@ class DFPTSolver:
         timer: Optional[PhaseTimer] = None,
         fault_injector: Optional[CycleFaultInjector] = None,
         backend: Union[str, "ExecutionBackend", None] = None,
+        verifier: Optional["Verifier"] = None,
     ) -> None:
         self.gs = ground_state
         self.settings = settings or CPSCFSettings()
         self.timer = timer or PhaseTimer()
         self.fault_injector = fault_injector
+        self.verifier = verifier
         if backend is None:
             # Share the ground state's backend (and its profile), so SCF
             # and CPSCF run the same execution engine end to end.
@@ -161,6 +164,10 @@ class DFPTSolver:
             p1 = p1 + cfg.mixing_factor * (p1_new - p1)
             if residual < cfg.response_tolerance:
                 n1 = self.backend.density_on_grid(p1)
+                if self.verifier is not None:
+                    self.verifier.run_phase(
+                        "cpscf", gs=gs, p1=p1, h1=h1, direction=direction
+                    )
                 return ResponseResult(
                     direction=direction,
                     response_density_matrix=p1,

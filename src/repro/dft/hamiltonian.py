@@ -165,3 +165,34 @@ class MatrixBuilder:
     def potential_matrix(self, potential_values: np.ndarray) -> np.ndarray:
         """V_mu_nu = <chi_mu | v | chi_nu> for a pointwise potential."""
         return self.backend.potential_matrix(potential_values)
+
+    # ------------------------------------------------------------------
+    # Backend-free reference paths (the verification seam)
+    # ------------------------------------------------------------------
+    # These bypass the execution backend entirely: every batch's basis
+    # block is evaluated fresh, so the invariant registry can compare a
+    # backend's answers against an independent derivation.  Honest
+    # backends are bit-exact with these (same batch order, same math).
+    def reference_density(self, density_matrix: np.ndarray) -> np.ndarray:
+        """Pointwise density via direct per-batch evaluation."""
+        from repro.backends.base import density_block
+
+        p = np.asarray(density_matrix, dtype=float)
+        out = np.zeros(self.grid.n_points)
+        for b in self.batches:
+            idx = b.point_indices
+            phi_b = self.basis.evaluate(self.grid.points[idx], atoms=b.relevant_atoms)
+            out[idx] = density_block(phi_b, p)
+        return out
+
+    def reference_potential_matrix(self, potential_values: np.ndarray) -> np.ndarray:
+        """``<chi_mu | v | chi_nu>`` via direct per-batch evaluation."""
+        from repro.backends.base import potential_block
+
+        wv = self.grid.weights * np.asarray(potential_values, dtype=float)
+        acc = np.zeros((self.basis.n_basis, self.basis.n_basis))
+        for b in self.batches:
+            idx = b.point_indices
+            phi_b = self.basis.evaluate(self.grid.points[idx], atoms=b.relevant_atoms)
+            acc += potential_block(phi_b, wv[idx])
+        return symmetrize(acc)

@@ -19,6 +19,7 @@ from repro.atoms.structure import Structure
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.backends.base import ExecutionBackend
+    from repro.verify.invariants import Verifier
 from repro.basis.basis_set import BasisSet, build_basis
 from repro.config import RunSettings, get_settings
 from repro.dft.hamiltonian import MatrixBuilder
@@ -80,11 +81,17 @@ class SCFDriver:
         charge: int = 0,
         timer: Optional[PhaseTimer] = None,
         backend: Union[str, "ExecutionBackend", None] = None,
+        verifier: Optional["Verifier"] = None,
     ) -> None:
         self.structure = structure
         self.settings = settings or get_settings("light")
         self.charge = charge
         self.timer = timer or PhaseTimer()
+        if verifier is None:
+            from repro.verify.invariants import Verifier as _Verifier
+
+            verifier = _Verifier.from_level(self.settings.verify)
+        self.verifier = verifier
 
         n_electrons = structure.n_electrons - charge
         if n_electrons <= 0:
@@ -118,6 +125,11 @@ class SCFDriver:
             self._dipoles = self.builder.dipole_matrices()
 
         self._e_nn = self._nuclear_repulsion()
+
+        if self.verifier is not None:
+            self.verifier.run_phase(
+                "integrals", overlap=self._s, dipoles=self._dipoles
+            )
 
     def _nuclear_repulsion(self) -> float:
         z = self.structure.nuclear_charges
@@ -233,7 +245,7 @@ class SCFDriver:
 
             if delta_e < scf.energy_tolerance and delta_p < scf.density_tolerance:
                 n_values = self.backend.density_on_grid(p)
-                return GroundState(
+                gs = GroundState(
                     structure=self.structure,
                     basis=self.basis,
                     grid=self.grid,
@@ -258,6 +270,15 @@ class SCFDriver:
                     iterations=iteration,
                     restarts=restarts,
                 )
+                if self.verifier is not None:
+                    self.verifier.run_phase(
+                        "scf",
+                        gs=gs,
+                        hamiltonian=h,
+                        h_static=self._t + self._v_ext + h_field,
+                        n_electrons=self.n_electrons,
+                    )
+                return gs
             iteration += 1
 
         raise SCFConvergenceError(

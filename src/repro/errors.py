@@ -89,3 +89,11 @@ class KernelFusionError(DeviceError):
 
 class ExperimentError(ReproError):
     """An experiment/benchmark harness was configured inconsistently."""
+
+
+class VerificationError(ReproError):
+    """A physics invariant, golden snapshot or conformance check failed."""
+
+
+class GoldenUpdateError(VerificationError):
+    """A golden snapshot would be (re)written without explicit opt-in."""

@@ -3,8 +3,11 @@
 :mod:`repro.testing.chaos` runs the full physics + communication
 pipeline under a seeded fault plan and checks that recovery is
 bit-exact against the fault-free reference.
+:mod:`repro.testing.fixtures` holds the machine/cluster factories the
+pytest and benchmark conftests wrap as fixtures.
 """
 
 from repro.testing.chaos import ChaosReport, run_chaos
+from repro.testing.fixtures import make_cluster, make_machine
 
-__all__ = ["ChaosReport", "run_chaos"]
+__all__ = ["ChaosReport", "make_cluster", "make_machine", "run_chaos"]

@@ -10,6 +10,7 @@ from typing import TYPE_CHECKING, Iterable, List, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.backends.base import BackendProfile
+    from repro.verify.invariants import VerifyReport
 
 
 def format_bytes(n: float) -> str:
@@ -68,6 +69,42 @@ def format_backend_profile(profile: "BackendProfile") -> str:
             f"{format_seconds(profile.device_modeled_seconds)} modeled, "
             f"{format_bytes(profile.device_bytes_transferred)} transferred"
         )
+    return "\n".join(lines)
+
+
+def format_verify_report(report: "VerifyReport") -> str:
+    """Render an invariant-verification report as a fixed-width table.
+
+    One row per evaluated check (phase, tolerance class, residual,
+    tolerance, status), a summary line, and — when anything failed —
+    one detail line per failure so a regression names the exact
+    invariant that broke.
+    """
+    table = TableFormatter(
+        ["invariant", "phase", "class", "residual", "tolerance", "status"],
+        title=f"verification report [level={report.level}]",
+    )
+    for r in report.results:
+        table.add_row(
+            [
+                r.name,
+                r.phase,
+                r.tol_class,
+                f"{r.residual:.3e}",
+                f"{r.tolerance:.1e}",
+                r.status,
+            ]
+        )
+    n = len(report.results)
+    n_fail = len(report.failures)
+    lines = [table.render()]
+    lines.append(
+        f"{n - n_fail}/{n} checks passed"
+        + ("" if report.ok else f"; FAILED: {', '.join(report.failed_names)}")
+    )
+    for r in report.failures:
+        if r.detail:
+            lines.append(f"  {r.name}: {r.detail}")
     return "\n".join(lines)
 
 

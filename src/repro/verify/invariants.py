@@ -1,0 +1,556 @@
+"""The physics-invariant registry (DESIGN §9.1).
+
+Every check is a named :class:`Invariant` attached to one *phase
+boundary* (``integrals``, ``scf``, ``cpscf``, ``polarizability``) with a
+cost tier and a tolerance class:
+
+========== ===========================================================
+cost       when it runs
+========== ===========================================================
+``cheap``  at ``RunSettings.verify = "cheap"`` and above — O(n_basis^2)
+           algebra on matrices the driver already holds
+``full``   only at ``"full"`` — re-derives quantities through an
+           independent path (fresh basis evaluation, Hartree rebuild,
+           far-field Gauss law), the checks that catch a *consistently
+           wrong* backend
+========== ===========================================================
+
+========== ===========================================================
+class      meaning of the tolerance
+========== ===========================================================
+bit-exact  the residual must be exactly zero (the quantity is built so
+           floating point cannot break it, e.g. symmetrized matrices)
+allclose   numerical noise only (eigensolver orthonormality, summation
+           order): tolerances ~1e-6..1e-12
+physics    limited by grid quadrature / iterative convergence, not by
+           arithmetic: tolerances ~1e-4..1e-2
+========== ===========================================================
+
+A check is a function ``fn(ctx) -> residual`` (optionally
+``(residual, detail)``); it *passes* when ``residual <= tolerance``.
+Checks that raise are recorded as failures with an infinite residual —
+a verification layer must never turn a wrong answer into a crash it
+cannot attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import VerificationError
+
+#: Verification levels, in increasing strictness.
+VERIFY_LEVELS = ("off", "cheap", "full")
+
+#: Tolerance classes (see module docstring).
+BIT_EXACT = "bit-exact"
+ALLCLOSE = "allclose"
+PHYSICS = "physics"
+TOLERANCE_CLASSES = (BIT_EXACT, ALLCLOSE, PHYSICS)
+
+#: Phase boundaries invariants may attach to.
+PHASES = ("integrals", "scf", "cpscf", "polarizability")
+
+
+class CheckContext:
+    """Loose bag of per-phase quantities handed to invariant functions.
+
+    Attribute access raises a clear :class:`VerificationError` for
+    anything the calling driver did not supply, so a misattached check
+    fails with its own name in the message instead of an AttributeError.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._fields = dict(kwargs)
+
+    def __getattr__(self, name: str):
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise VerificationError(
+                f"invariant context is missing {name!r}; "
+                f"available: {sorted(self._fields)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named, tolerance-tagged physics check."""
+
+    name: str
+    phase: str
+    cost: str  # "cheap" | "full"
+    tol_class: str
+    tolerance: float
+    description: str
+    fn: Callable[[CheckContext], Union[float, Tuple[float, str]]]
+
+
+@dataclass
+class InvariantResult:
+    """Outcome of one invariant evaluation (or one golden-field compare)."""
+
+    name: str
+    phase: str
+    tol_class: str
+    residual: float
+    tolerance: float
+    passed: bool
+    detail: str = ""
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.passed else "FAIL"
+
+
+@dataclass
+class VerifyReport:
+    """Accumulated pass/fail/residual record of one verified run."""
+
+    level: str
+    results: List[InvariantResult] = field(default_factory=list)
+
+    def add(self, result: InvariantResult) -> None:
+        self.results.append(result)
+
+    def extend(self, other: "VerifyReport") -> None:
+        self.results.extend(other.results)
+
+    @property
+    def failures(self) -> List[InvariantResult]:
+        return [r for r in self.results if not r.passed]
+
+    @property
+    def failed_names(self) -> List[str]:
+        return [r.name for r in self.failures]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        from repro.utils.reports import format_verify_report
+
+        return format_verify_report(self)
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`VerificationError` naming every failed check."""
+        if self.failures:
+            names = ", ".join(
+                f"{r.name} (residual {r.residual:.3g} > {r.tolerance:.3g})"
+                for r in self.failures
+            )
+            raise VerificationError(
+                f"{len(self.failures)} invariant(s) failed: {names}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Invariant] = {}
+
+
+def invariant(
+    name: str,
+    *,
+    phase: str,
+    cost: str,
+    tol_class: str,
+    tolerance: float,
+    description: str,
+) -> Callable:
+    """Decorator registering a check under *name*."""
+    if phase not in PHASES:
+        raise VerificationError(f"unknown phase {phase!r}; expected one of {PHASES}")
+    if cost not in ("cheap", "full"):
+        raise VerificationError(f"cost must be 'cheap' or 'full', got {cost!r}")
+    if tol_class not in TOLERANCE_CLASSES:
+        raise VerificationError(
+            f"unknown tolerance class {tol_class!r}; expected {TOLERANCE_CLASSES}"
+        )
+    if tol_class == BIT_EXACT and tolerance != 0.0:
+        raise VerificationError(f"bit-exact checks need tolerance 0, got {tolerance}")
+
+    def decorator(fn: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise VerificationError(f"invariant {name!r} registered twice")
+        _REGISTRY[name] = Invariant(
+            name=name,
+            phase=phase,
+            cost=cost,
+            tol_class=tol_class,
+            tolerance=tolerance,
+            description=description,
+            fn=fn,
+        )
+        return fn
+
+    return decorator
+
+
+def all_invariants() -> Tuple[Invariant, ...]:
+    """Every registered invariant, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def invariants_for(phase: str, level: str = "full") -> Tuple[Invariant, ...]:
+    """Invariants of one phase active at one verification level."""
+    if level not in VERIFY_LEVELS:
+        raise VerificationError(
+            f"unknown verify level {level!r}; expected one of {VERIFY_LEVELS}"
+        )
+    if level == "off":
+        return ()
+    return tuple(
+        inv
+        for inv in _REGISTRY.values()
+        if inv.phase == phase and (inv.cost == "cheap" or level == "full")
+    )
+
+
+class Verifier:
+    """Runs the registered invariants at one level, accumulating a report.
+
+    Drivers hold at most one; :meth:`run_phase` is their single entry
+    point. ``Verifier.from_level("off")`` returns ``None`` so the hot
+    path stays a plain ``if verifier is not None`` with zero overhead.
+    """
+
+    def __init__(self, level: str = "cheap") -> None:
+        if level not in VERIFY_LEVELS or level == "off":
+            raise VerificationError(
+                f"Verifier level must be 'cheap' or 'full', got {level!r}"
+            )
+        self.level = level
+        self.report = VerifyReport(level=level)
+
+    @classmethod
+    def from_level(cls, level: str) -> Optional["Verifier"]:
+        if level not in VERIFY_LEVELS:
+            raise VerificationError(
+                f"unknown verify level {level!r}; expected one of {VERIFY_LEVELS}"
+            )
+        return None if level == "off" else cls(level)
+
+    def run_phase(self, phase: str, **context) -> List[InvariantResult]:
+        """Evaluate every active invariant of *phase* against *context*."""
+        ctx = CheckContext(**context)
+        out: List[InvariantResult] = []
+        for inv in invariants_for(phase, self.level):
+            detail = ""
+            try:
+                value = inv.fn(ctx)
+                if isinstance(value, tuple):
+                    residual, detail = float(value[0]), str(value[1])
+                else:
+                    residual = float(value)
+            except Exception as exc:  # noqa: BLE001 - see module docstring
+                residual = float("inf")
+                detail = f"check raised {type(exc).__name__}: {exc}"
+            result = InvariantResult(
+                name=inv.name,
+                phase=inv.phase,
+                tol_class=inv.tol_class,
+                residual=residual,
+                tolerance=inv.tolerance,
+                passed=residual <= inv.tolerance,
+                detail=detail,
+            )
+            self.report.add(result)
+            out.append(result)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Integrals-phase invariants (density-independent matrices)
+# ----------------------------------------------------------------------
+@invariant(
+    "overlap_hermitian",
+    phase="integrals",
+    cost="cheap",
+    tol_class=BIT_EXACT,
+    tolerance=0.0,
+    description="S = S^T (symmetrized on construction)",
+)
+def _overlap_hermitian(ctx: CheckContext) -> float:
+    s = ctx.overlap
+    return float(np.abs(s - s.T).max())
+
+
+@invariant(
+    "overlap_positive_definite",
+    phase="integrals",
+    cost="cheap",
+    tol_class=ALLCLOSE,
+    tolerance=1e-12,
+    description="smallest eigenvalue of S is positive (basis not collapsed)",
+)
+def _overlap_positive_definite(ctx: CheckContext) -> Tuple[float, str]:
+    min_eig = float(np.linalg.eigvalsh(ctx.overlap).min())
+    return max(0.0, -min_eig), f"min eig(S) = {min_eig:.3e}"
+
+
+@invariant(
+    "dipole_hermitian",
+    phase="integrals",
+    cost="cheap",
+    tol_class=BIT_EXACT,
+    tolerance=0.0,
+    description="each dipole matrix D_J is symmetric",
+)
+def _dipole_hermitian(ctx: CheckContext) -> float:
+    d = ctx.dipoles
+    return float(max(np.abs(d[j] - d[j].T).max() for j in range(d.shape[0])))
+
+
+# ----------------------------------------------------------------------
+# SCF-phase invariants (converged ground state)
+# ----------------------------------------------------------------------
+@invariant(
+    "hamiltonian_hermitian",
+    phase="scf",
+    cost="cheap",
+    tol_class=BIT_EXACT,
+    tolerance=0.0,
+    description="the converged Kohn-Sham Hamiltonian is symmetric",
+)
+def _hamiltonian_hermitian(ctx: CheckContext) -> float:
+    h = ctx.hamiltonian
+    return float(np.abs(h - h.T).max())
+
+
+@invariant(
+    "dm_hermitian",
+    phase="scf",
+    cost="cheap",
+    tol_class=BIT_EXACT,
+    tolerance=0.0,
+    description="P = P^T (C f C^T construction)",
+)
+def _dm_hermitian(ctx: CheckContext) -> float:
+    p = ctx.gs.density_matrix
+    return float(np.abs(p - p.T).max())
+
+
+@invariant(
+    "dm_trace",
+    phase="scf",
+    cost="cheap",
+    tol_class=ALLCLOSE,
+    tolerance=1e-8,
+    description="Tr(P S) = N_electrons",
+)
+def _dm_trace(ctx: CheckContext) -> Tuple[float, str]:
+    tr = float(np.sum(ctx.gs.density_matrix * ctx.gs.overlap.T))
+    return abs(tr - ctx.n_electrons), f"Tr(PS) = {tr:.12g}"
+
+
+@invariant(
+    "dm_idempotent",
+    phase="scf",
+    cost="cheap",
+    tol_class=ALLCLOSE,
+    tolerance=1e-8,
+    description="closed-shell idempotency P S P = 2 P",
+)
+def _dm_idempotent(ctx: CheckContext) -> float:
+    p, s = ctx.gs.density_matrix, ctx.gs.overlap
+    return float(np.abs(p @ s @ p - 2.0 * p).max())
+
+
+@invariant(
+    "density_nonnegative",
+    phase="scf",
+    cost="cheap",
+    tol_class=ALLCLOSE,
+    tolerance=1e-12,
+    description="the grid density is nowhere negative",
+)
+def _density_nonnegative(ctx: CheckContext) -> Tuple[float, str]:
+    min_n = float(ctx.gs.density.min())
+    return max(0.0, -min_n), f"min n(r) = {min_n:.3e}"
+
+
+@invariant(
+    "charge_integration",
+    phase="scf",
+    cost="cheap",
+    tol_class=PHYSICS,
+    tolerance=1e-6,
+    description="integral of n(r) over the grid equals N_electrons",
+)
+def _charge_integration(ctx: CheckContext) -> Tuple[float, str]:
+    gs = ctx.gs
+    q = float(np.sum(gs.grid.weights * gs.density))
+    return abs(q - ctx.n_electrons), f"int n = {q:.12g}"
+
+
+@invariant(
+    "scf_stationarity",
+    phase="scf",
+    cost="full",
+    tol_class=ALLCLOSE,
+    tolerance=1e-6,
+    description="[H[n], P]_S = 0 with H rebuilt from the converged density",
+)
+def _scf_stationarity(ctx: CheckContext) -> float:
+    from repro.dft.xc import lda_exchange_correlation
+
+    gs = ctx.gs
+    v_h = gs.solver.hartree_potential(gs.density)
+    xc = lda_exchange_correlation(gs.density)
+    h = ctx.h_static + gs.builder.reference_potential_matrix(v_h + xc.vxc)
+    p, s = gs.density_matrix, gs.overlap
+    return float(np.abs(h @ p @ s - s @ p @ h).max())
+
+
+@invariant(
+    "density_consistency",
+    phase="scf",
+    cost="full",
+    tol_class=ALLCLOSE,
+    tolerance=1e-10,
+    description="backend grid density matches a fresh reference evaluation",
+)
+def _density_consistency(ctx: CheckContext) -> float:
+    gs = ctx.gs
+    reference = gs.builder.reference_density(gs.density_matrix)
+    return float(np.abs(gs.density - reference).max())
+
+
+@invariant(
+    "gauss_law_monopole",
+    phase="scf",
+    cost="full",
+    tol_class=PHYSICS,
+    tolerance=2e-2,
+    description="far-field Hartree potential obeys Gauss's law (v ~ N/r)",
+)
+def _gauss_law_monopole(ctx: CheckContext) -> Tuple[float, str]:
+    gs = ctx.gs
+    n_elec = float(ctx.n_electrons)
+    structure = gs.structure
+    center = np.average(
+        structure.coords, axis=0, weights=structure.nuclear_charges
+    )
+    expansion = gs.solver.solve(gs.solver.expand(gs.density))
+    radius = 25.0 + float(np.abs(structure.coords - center).max())
+    directions = np.array(
+        [[1, 0, 0], [0, 1, 0], [0, 0, 1], [-1, 0, 0], [0, -1, 0], [0, 0, -1]],
+        dtype=float,
+    )
+    points = center[None, :] + radius * directions
+    v = gs.solver.evaluate(expansion, points=points)
+    rel = np.abs(v * radius / n_elec - 1.0)
+    return float(rel.max()), f"max |v r / N - 1| at r = {radius:.1f} Bohr"
+
+
+# ----------------------------------------------------------------------
+# CPSCF-phase invariants (one converged response direction)
+# ----------------------------------------------------------------------
+@invariant(
+    "h1_hermitian",
+    phase="cpscf",
+    cost="cheap",
+    tol_class=BIT_EXACT,
+    tolerance=0.0,
+    description="the response Hamiltonian H^(1) is symmetric",
+)
+def _h1_hermitian(ctx: CheckContext) -> float:
+    h1 = ctx.h1
+    return float(np.abs(h1 - h1.T).max())
+
+
+@invariant(
+    "p1_hermitian",
+    phase="cpscf",
+    cost="cheap",
+    tol_class=BIT_EXACT,
+    tolerance=0.0,
+    description="P^(1) = P^(1)^T (Eq. 7 construction)",
+)
+def _p1_hermitian(ctx: CheckContext) -> float:
+    p1 = ctx.p1
+    return float(np.abs(p1 - p1.T).max())
+
+
+@invariant(
+    "p1_traceless",
+    phase="cpscf",
+    cost="cheap",
+    tol_class=ALLCLOSE,
+    tolerance=1e-8,
+    description="Tr(P^(1) S) = 0: a field moves no charge in or out",
+)
+def _p1_traceless(ctx: CheckContext) -> float:
+    return abs(float(np.sum(ctx.p1 * ctx.gs.overlap.T)))
+
+
+@invariant(
+    "p1_idempotency_derivative",
+    phase="cpscf",
+    cost="cheap",
+    tol_class=ALLCLOSE,
+    tolerance=1e-8,
+    description="P S P^(1) + P^(1) S P = 2 P^(1) (derivative of P S P = 2P)",
+)
+def _p1_idempotency_derivative(ctx: CheckContext) -> float:
+    gs = ctx.gs
+    p, s, p1 = gs.density_matrix, gs.overlap, ctx.p1
+    return float(np.abs(p @ s @ p1 + p1 @ s @ p - 2.0 * p1).max())
+
+
+@invariant(
+    "cpscf_stationarity",
+    phase="cpscf",
+    cost="full",
+    tol_class=PHYSICS,
+    tolerance=1e-4,
+    description="one independently recomputed CPSCF cycle leaves P^(1) fixed",
+)
+def _cpscf_stationarity(ctx: CheckContext) -> float:
+    from repro.backends.base import first_order_dm_dense
+    from repro.constants import EIGENVALUE_GAP_FLOOR
+    from repro.dft.xc import lda_xc_kernel
+
+    gs = ctx.gs
+    p1 = ctx.p1
+    builder = gs.builder
+    # Everything below is re-derived from ground-state data through the
+    # reference (backend-free) path, so a bug in the solver's cached
+    # kernel, its backend or its mixing shows up as a violated fixed
+    # point rather than being replayed.
+    n1 = builder.reference_density(p1)
+    v1 = gs.solver.hartree_potential(n1) + lda_xc_kernel(gs.density) * n1
+    h1 = -gs.dipoles[ctx.direction] + builder.reference_potential_matrix(v1)
+
+    occ = gs.occupations > 0.0
+    c_occ = gs.orbitals[:, occ]
+    c_virt = gs.orbitals[:, ~occ]
+    gaps = gs.eigenvalues[occ][None, :] - gs.eigenvalues[~occ][:, None]
+    gaps = np.where(np.abs(gaps) < EIGENVALUE_GAP_FLOOR, -EIGENVALUE_GAP_FLOOR, gaps)
+    _, _, p1_new = first_order_dm_dense(
+        h1, 1.0 / gaps, c_occ, c_virt, gs.occupations[occ]
+    )
+    return float(np.abs(p1_new - p1).max())
+
+
+# ----------------------------------------------------------------------
+# Polarizability invariants
+# ----------------------------------------------------------------------
+@invariant(
+    "polarizability_symmetric",
+    phase="polarizability",
+    cost="cheap",
+    tol_class=PHYSICS,
+    tolerance=1e-3,
+    description="alpha_IJ = alpha_JI (relative to the largest element)",
+)
+def _polarizability_symmetric(ctx: CheckContext) -> float:
+    alpha = ctx.polarizability
+    scale = max(1.0, float(np.abs(alpha).max()))
+    return float(np.abs(alpha - alpha.T).max()) / scale

@@ -1,0 +1,102 @@
+"""Deliberately seeded bugs — the mutation smoke tests' test-only hook.
+
+Each named mutation reproduces a class of real porting bug the paper's
+validation methodology (and this repo's invariant registry) must catch:
+
+======================== ==============================================
+``transposed_gather_map`` the batch's point rows arrive in reversed
+                          (gather-transposed) order, misaligning basis
+                          values with quadrature weights
+``dropped_batch``         one batch's contribution silently vanishes
+                          from every contraction
+``stale_dm_snapshot``     the Sumup phase keeps using the first density
+                          matrix it ever saw
+``wrong_xc_sign``         the CPSCF response potential carries
+                          ``-f_xc n^(1)`` instead of ``+f_xc n^(1)``
+``off_by_one_batch_slice`` the batch's basis block is shifted by one
+                          point row (first row lost, last duplicated)
+======================== ==============================================
+
+The first four backend-level mutations are applied by running a driver
+with a :class:`MutantBackend`; ``wrong_xc_sign`` lives in the CPSCF
+solver's cached kernel and is applied to a live solver with
+:func:`flip_xc_kernel_sign`.  Nothing here is imported by production
+code paths — it exists so tests can prove the checks have teeth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.numpy_backend import NumpyBackend
+from repro.errors import VerificationError
+from repro.grids.batching import GridBatch
+
+#: Every seeded mutation and the bug class it models.
+MUTATIONS = {
+    "transposed_gather_map": "batch basis rows in reversed gather order",
+    "dropped_batch": "the last grid batch contributes nothing",
+    "stale_dm_snapshot": "Sumup reuses the first density matrix forever",
+    "wrong_xc_sign": "CPSCF response potential uses -f_xc * n1",
+    "off_by_one_batch_slice": "basis block shifted one point row",
+}
+
+#: Mutations implemented as a broken execution backend.
+BACKEND_MUTATIONS = (
+    "transposed_gather_map",
+    "dropped_batch",
+    "stale_dm_snapshot",
+    "off_by_one_batch_slice",
+)
+
+
+class MutantBackend(NumpyBackend):
+    """A reference backend with exactly one seeded bug.
+
+    Not registered in the backend registry — pass an instance directly
+    as the ``backend=`` argument of a driver under test.
+    """
+
+    name = "mutant"
+
+    def __init__(self, mutation: str) -> None:
+        if mutation not in BACKEND_MUTATIONS:
+            raise VerificationError(
+                f"unknown backend mutation {mutation!r}; "
+                f"expected one of {BACKEND_MUTATIONS}"
+            )
+        super().__init__()
+        self.mutation = mutation
+        self._stale_dm: Optional[np.ndarray] = None
+
+    def basis_block(self, batch: GridBatch) -> np.ndarray:
+        block = super().basis_block(batch)
+        if self.mutation == "transposed_gather_map":
+            return block[::-1]
+        if self.mutation == "off_by_one_batch_slice" and block.shape[0] > 1:
+            return np.vstack([block[1:], block[-1:]])
+        if (
+            self.mutation == "dropped_batch"
+            and batch.index == len(self._require_bound().batches) - 1
+        ):
+            return np.zeros_like(block)
+        return block
+
+    def density_on_grid(self, density_matrix: np.ndarray) -> np.ndarray:
+        if self.mutation == "stale_dm_snapshot":
+            if self._stale_dm is None:
+                self._stale_dm = np.array(density_matrix, dtype=float, copy=True)
+            density_matrix = self._stale_dm
+        return super().density_on_grid(density_matrix)
+
+
+def mutant_backend(mutation: str) -> MutantBackend:
+    """Instantiate the broken backend for one backend-level mutation."""
+    return MutantBackend(mutation)
+
+
+def flip_xc_kernel_sign(solver) -> None:
+    """Apply ``wrong_xc_sign`` to a live :class:`~repro.dfpt.response.DFPTSolver`."""
+    solver._fxc = -solver._fxc

@@ -1,10 +1,9 @@
 """Shared fixtures: expensive physics objects built once per session,
 plus factories for the small machine/cluster instances the runtime,
-communication and fault suites all need."""
+communication and fault suites all need (the factories themselves live
+in :mod:`repro.testing.fixtures`, shared with the bench harness)."""
 
 from __future__ import annotations
-
-from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -12,7 +11,24 @@ import pytest
 from repro.atoms import hydrogen_molecule, water
 from repro.config import get_settings
 from repro.dft import SCFDriver
-from repro.runtime import HPC2_AMD, SimCluster
+from repro.testing import fixtures as _factories
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-golden-update",
+        action="store_true",
+        default=False,
+        help="allow the golden-regeneration tests to rewrite snapshots "
+        "(in a temp dir); without it those tests are skipped",
+    )
+
+
+@pytest.fixture
+def golden_update_enabled(request):
+    if not request.config.getoption("--run-golden-update"):
+        pytest.skip("golden regeneration requires --run-golden-update")
+    return True
 
 
 @pytest.fixture(scope="session")
@@ -39,32 +55,11 @@ def rng():
 
 @pytest.fixture
 def make_machine():
-    """Factory for small MachineSpec variants derived from a preset.
-
-    ``make_machine(procs_per_node=4)`` clones HPC#2 with overrides;
-    pass ``base=HPC1_SUNWAY`` to start from the other preset.
-    """
-
-    def _make(base=HPC2_AMD, **overrides):
-        return replace(base, **overrides) if overrides else base
-
-    return _make
+    """Factory fixture over :func:`repro.testing.fixtures.make_machine`."""
+    return _factories.make_machine
 
 
 @pytest.fixture
-def make_cluster(make_machine):
-    """Factory for small SimCluster instances.
-
-    ``make_cluster(8)`` gives 8 ranks on HPC#2; keyword arguments are
-    split between MachineSpec overrides (``procs_per_node=...``) and
-    SimCluster options (``fault_plan=``, ``retry_policy=``, ``base=``).
-    """
-
-    def _make(n_ranks=8, fault_plan=None, retry_policy=None, base=HPC2_AMD,
-              **machine_overrides):
-        machine = make_machine(base, **machine_overrides)
-        return SimCluster(
-            machine, n_ranks, fault_plan=fault_plan, retry_policy=retry_policy
-        )
-
-    return _make
+def make_cluster():
+    """Factory fixture over :func:`repro.testing.fixtures.make_cluster`."""
+    return _factories.make_cluster

@@ -1,0 +1,116 @@
+"""Cross-process determinism of the FaultPlan decision stream.
+
+The resilience suite's bit-exact recovery assertions rest on one
+contract: the same ``(seed, rates, schedule)`` produces the same fault
+decisions at the same sites *in any process* — the per-site RNG streams
+are seeded by ``(seed, crc32(site), attempt)``, never by interpreter
+state, hash randomization or call ordering.  An in-process check cannot
+establish that, so the probe also runs in a fresh subprocess.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Probe shared by the in-process and subprocess runs: a fixed tour of
+#: (site, call_index, attempt) decisions under mixed fault rates.
+PROBE = """
+import json
+from repro.runtime.faults import FaultPlan, FaultRates
+
+def decision_stream(seed):
+    plan = FaultPlan(
+        seed=seed,
+        rates=FaultRates(
+            message_corruption=0.1,
+            straggler=0.15,
+            message_drop=0.05,
+            cycle_fault=0.2,
+        ),
+        max_rank_failures=0,
+    )
+    stream = []
+    for site in ("scf/allreduce", "cpscf/gather", "sumup/h_reduce"):
+        for call_index in range(25):
+            for attempt in range(2):
+                ev = plan.collective_fault(
+                    site, call_index, attempt, ranks=list(range(8))
+                )
+                stream.append(
+                    None if ev is None else [ev.kind, ev.site, ev.rank]
+                )
+    for cycle in range(25):
+        ev = plan.cycle_fault("scf/cycle", cycle, attempt=0)
+        stream.append(None if ev is None else [ev.kind, ev.site])
+    return stream
+"""
+
+_SUBPROCESS_MAIN = PROBE + """
+import sys
+print(json.dumps(decision_stream(int(sys.argv[1]))))
+"""
+
+
+def _local_stream(seed):
+    scope = {}
+    exec(PROBE, scope)
+    return scope["decision_stream"](seed)
+
+
+def _subprocess_stream(seed, extra_args=()):
+    out = subprocess.run(
+        [sys.executable, *extra_args, "-c", _SUBPROCESS_MAIN, str(seed)],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+    )
+    return json.loads(out.stdout)
+
+
+def test_stream_is_reproducible_across_processes():
+    seed = 2023
+    local = _local_stream(seed)
+    remote = _subprocess_stream(seed)
+    # JSON-normalize the local stream (tuples/lists) before comparing.
+    assert json.loads(json.dumps(local)) == remote
+    # The mixed rates actually fire: a silent all-None stream would make
+    # this test vacuous.
+    assert any(d is not None for d in local)
+    assert any(d is None for d in local)
+
+
+def test_stream_survives_hash_randomization():
+    """crc32 site hashing must not inherit PYTHONHASHSEED."""
+    seed = 7
+    a = _subprocess_stream(seed, extra_args=())
+    b = _subprocess_stream(seed, extra_args=("-R",))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    assert _local_stream(1) != _local_stream(2)
+
+
+def test_stream_independent_of_interleaving():
+    """Decisions depend only on (site, index, attempt), not the order
+    other sites were queried in — the property that lets a recovered
+    rank replay its own faults without global coordination."""
+    from repro.runtime.faults import FaultPlan, FaultRates
+
+    rates = FaultRates(message_corruption=0.2, straggler=0.2)
+
+    def probe(order):
+        plan = FaultPlan(seed=11, rates=rates, max_rank_failures=0)
+        decisions = {}
+        for site, idx in order:
+            ev = plan.collective_fault(site, idx, 0, ranks=[0, 1, 2, 3])
+            decisions[(site, idx)] = None if ev is None else ev.kind
+        return decisions
+
+    forward = [(s, i) for s in ("a/x", "b/y") for i in range(20)]
+    assert probe(forward) == probe(list(reversed(forward)))

@@ -1,0 +1,99 @@
+"""Mutation smoke tests: every seeded bug must trip >= 1 invariant.
+
+These are the teeth of the verification layer — if a mutation ever
+stops being caught, the registry has lost the ability to detect that
+whole class of porting bug.
+"""
+
+import pytest
+
+from repro.atoms import hydrogen_molecule
+from repro.config import get_settings
+from repro.dfpt.response import DFPTSolver
+from repro.dft.scf import SCFDriver
+from repro.errors import CPSCFConvergenceError, VerificationError
+from repro.verify import MUTATIONS, MutantBackend, Verifier, flip_xc_kernel_sign
+from repro.verify.mutations import BACKEND_MUTATIONS
+
+#: Invariants expected to flag each backend mutation (at least these;
+#: the assertion is ">= 1 of them", plus "no silent pass overall").
+EXPECTED_CATCHERS = {
+    "transposed_gather_map": {"density_consistency", "scf_stationarity"},
+    "dropped_batch": {"density_consistency", "scf_stationarity"},
+    "stale_dm_snapshot": {"density_consistency"},
+    "off_by_one_batch_slice": {"density_consistency", "scf_stationarity"},
+}
+
+
+def _run_mutated(mutation):
+    """Full pipeline under one backend mutation, at verify='full'.
+
+    A mutated run may legitimately fail to converge in CPSCF (the wrong
+    density makes the fixed point unreachable) — the invariants logged
+    up to that point are still the detection record.
+    """
+    settings = get_settings("minimal")
+    verifier = Verifier("full")
+    driver = SCFDriver(
+        hydrogen_molecule(),
+        settings,
+        backend=MutantBackend(mutation),
+        verifier=verifier,
+    )
+    gs = driver.run()
+    solver = DFPTSolver(gs, settings.cpscf, verifier=verifier)
+    try:
+        for j in range(3):
+            solver.solve_direction(j)
+    except CPSCFConvergenceError:
+        pass
+    return verifier.report
+
+
+class TestBackendMutations:
+    def test_every_mutation_is_named(self):
+        assert set(BACKEND_MUTATIONS) | {"wrong_xc_sign"} == set(MUTATIONS)
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(VerificationError):
+            MutantBackend("swapped_loop_order")
+
+    @pytest.mark.parametrize("mutation", BACKEND_MUTATIONS)
+    def test_mutation_is_caught(self, mutation):
+        report = _run_mutated(mutation)
+        failed = set(report.failed_names)
+        assert failed, f"{mutation} passed every invariant — no teeth"
+        assert failed & EXPECTED_CATCHERS[mutation], (
+            f"{mutation} caught by {sorted(failed)}, expected at least one "
+            f"of {sorted(EXPECTED_CATCHERS[mutation])}"
+        )
+
+    def test_cheap_level_misses_stale_dm(self):
+        """Documents the cost tiers: the stale-DM bug is self-consistent
+        at the cheap (algebra-only) level and needs the full tier's
+        independent re-derivation — exactly why 'full' exists."""
+        settings = get_settings("minimal")
+        verifier = Verifier("cheap")
+        SCFDriver(
+            hydrogen_molecule(),
+            settings,
+            backend=MutantBackend("stale_dm_snapshot"),
+            verifier=verifier,
+        ).run()
+        assert "density_consistency" not in verifier.report.failed_names
+
+
+class TestXCSignMutation:
+    def test_wrong_xc_sign_breaks_cpscf_stationarity(self):
+        settings = get_settings("minimal")
+        verifier = Verifier("full")
+        gs = SCFDriver(hydrogen_molecule(), settings, verifier=verifier).run()
+        assert verifier.report.ok  # SCF itself is untouched
+        solver = DFPTSolver(gs, settings.cpscf, verifier=verifier)
+        flip_xc_kernel_sign(solver)
+        try:
+            for j in range(3):
+                solver.solve_direction(j)
+        except CPSCFConvergenceError:
+            pass
+        assert "cpscf_stationarity" in verifier.report.failed_names
