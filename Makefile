@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test chaos smoke bench-smoke verify
+.PHONY: test chaos smoke bench-smoke bench-check docs-check trace verify
 
 # Tier-1: the fast default profile (chaos sweeps deselected via addopts).
 test:
@@ -22,7 +22,27 @@ smoke:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py --quick
 
-# Physics-invariant + golden + differential-conformance check on H2.
+# Perf-regression gate: re-run the backend benchmark at the committed
+# baseline's own parameters and compare metric-by-metric (exact bands
+# for deterministic counters, one-sided bands for wall times/speedups).
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_backends.json
+
+# Documentation gate: every doctest in the observability-facing modules
+# must run, and every audited public object must carry a docstring.
+docs-check:
+	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules -q \
+		src/repro/obs src/repro/utils/timing.py src/repro/runtime/trace.py \
+		src/repro/testing/docs.py
+	PYTHONPATH=src $(PYTHON) tools/check_docstrings.py
+
+# Span trace of a real physics run, openable at https://ui.perfetto.dev.
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro trace --molecule water --level minimal \
+		--out trace.json --report run_report.json
+
+# Physics-invariant + golden + differential-conformance check on H2,
+# plus the perf-regression and documentation gates (all tier-1 sized).
 # `python -m repro verify` (no args) covers both reference molecules.
-verify:
+verify: bench-check docs-check
 	PYTHONPATH=src $(PYTHON) -m repro verify --molecule h2

@@ -10,129 +10,47 @@ each registered backend:
   streamed from the cache on later sweeps.
 * ``device`` — priced OpenCL-model launches over staged device buffers.
 
-Results (wall seconds, per-phase profiles, batched-vs-numpy speedup) are
-written to ``BENCH_backends.json`` at the repo root and printed as a
-table.  Run directly::
+The measurement itself lives in :mod:`repro.obs.bench` (shared with the
+``repro bench-check`` regression gate); this script prints the table,
+writes ``BENCH_backends.json`` at the repo root — including the
+provenance block the regression gate and EXPERIMENTS.md footers rely
+on — and fails if batched does not beat the legacy path.  Run::
 
     PYTHONPATH=src python benchmarks/bench_backends.py [--quick]
 
 or via ``make bench-smoke``.  All three backends are verified
-bit-identical on every sweep before any timing is reported.
+bit-identical on every sweep before any timing is reported.  Compare a
+fresh run against the committed baseline with ``make bench-check``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import time
 from pathlib import Path
 
-import numpy as np
+from repro.obs.bench import backend_emission, emission_summary_rows
+from repro.obs.report import Provenance
+from repro.utils.reports import TableFormatter
 
-from repro.atoms import water
-from repro.basis import build_basis
-from repro.config import get_settings
-from repro.dft.hamiltonian import MatrixBuilder
-from repro.grids import build_grid
-from repro.utils.reports import TableFormatter, format_bytes, format_seconds
-
-BACKENDS = ("numpy", "batched", "device")
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
 
 
-def build_builders(level: str, cache_limit: int):
-    """One MatrixBuilder per backend over a shared basis/grid/batches."""
-    structure = water()
-    settings = get_settings(level)
-    basis = build_basis(structure)
-    grid = build_grid(structure, settings.grids, with_partition=True)
-    reference = MatrixBuilder(
-        basis, grid, backend="numpy", cache_limit=cache_limit
-    )
-    builders = {"numpy": reference}
-    for name in BACKENDS[1:]:
-        builders[name] = MatrixBuilder(
-            basis,
-            grid,
-            batches=reference.batches,
-            backend=name,
-            cache_limit=cache_limit,
-        )
-    return builders
-
-
-def sweep(builder: MatrixBuilder, n_sweeps: int, seed: int = 2023) -> dict:
-    """Time ``n_sweeps`` Sumup + H passes; return wall time and outputs."""
-    rng = np.random.default_rng(seed)
-    nb = builder.basis.n_basis
-    p = rng.normal(size=(nb, nb))
-    p = p + p.T
-    v = rng.normal(size=builder.grid.n_points)
-    density = potential = None
-    start = time.perf_counter()
-    for _ in range(n_sweeps):
-        density = builder.backend.density_on_grid(p)
-        potential = builder.potential_matrix(v)
-    wall = time.perf_counter() - start
-    return {"wall": wall, "density": density, "potential": potential}
-
-
 def run(n_sweeps: int, level: str) -> dict:
-    builders = build_builders(level, cache_limit=0)
-    n_points = builders["numpy"].grid.n_points
-    nb = builders["numpy"].basis.n_basis
+    report = backend_emission(level, n_sweeps)
     print(
-        f"water ({level}): {n_points:,} grid points x {nb} basis functions, "
-        f"{len(builders['numpy'].batches)} batches, cache_limit=0 "
+        f"water ({level}): {report['n_points']:,} grid points x "
+        f"{report['n_basis']} basis functions, cache_limit=0 "
         f"(full table disallowed), {n_sweeps} Sumup+H sweeps"
     )
-
-    results = {}
-    for name in BACKENDS:
-        results[name] = sweep(builders[name], n_sweeps)
-
-    ref = results["numpy"]
-    for name in BACKENDS[1:]:
-        if not np.array_equal(ref["density"], results[name]["density"]):
-            raise AssertionError(f"{name} density diverged from numpy")
-        if not np.array_equal(ref["potential"], results[name]["potential"]):
-            raise AssertionError(f"{name} potential matrix diverged from numpy")
-
     table = TableFormatter(
         ["backend", "wall", "speedup vs numpy", "cache peak", "launches"],
         title="backend comparison (bit-identical outputs)",
     )
-    report = {
-        "system": "water",
-        "level": level,
-        "n_points": n_points,
-        "n_basis": nb,
-        "n_sweeps": n_sweeps,
-        "cache_limit": 0,
-        "backends": {},
-    }
-    for name in BACKENDS:
-        profile = builders[name].backend.profile
-        wall = results[name]["wall"]
-        speedup = ref["wall"] / wall if wall > 0 else float("inf")
-        table.add_row(
-            [
-                name,
-                format_seconds(wall),
-                f"{speedup:.2f}x",
-                format_bytes(profile.cache_peak_bytes) if name == "batched" else "-",
-                profile.device_launches or "-",
-            ]
-        )
-        report["backends"][name] = {
-            "wall_seconds": wall,
-            "speedup_vs_numpy": speedup,
-            "profile": profile.as_dict(),
-        }
-    report["batched_speedup_vs_numpy"] = report["backends"]["batched"][
-        "speedup_vs_numpy"
-    ]
+    for row in emission_summary_rows(report):
+        table.add_row(row)
     print(table.render())
+    print(Provenance(**report["provenance"]).footer_markdown())
     return report
 
 

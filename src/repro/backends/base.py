@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import BackendError, GridError
 from repro.grids.batching import GridBatch
+from repro.obs.tracer import obs_counter, obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dft.hamiltonian import MatrixBuilder
@@ -217,26 +218,26 @@ class ExecutionBackend:
         """Pointwise density for one density matrix (Sumup phase)."""
         builder = self._require_bound()
         p = self._check_density_matrix(density_matrix)
+        elements = builder.grid.n_points * builder.basis.n_basis
         start = time.perf_counter()
-        out = self._density_impl(p)
-        self.profile.record(
-            "Sumup",
-            builder.grid.n_points * builder.basis.n_basis,
-            time.perf_counter() - start,
-        )
+        with obs_span("Sumup", category="backend", backend=self.name):
+            out = self._density_impl(p)
+        self.profile.record("Sumup", elements, time.perf_counter() - start)
+        obs_counter("backend.Sumup.calls")
+        obs_counter("backend.Sumup.elements", elements)
         return out
 
     def potential_matrix(self, potential_values: np.ndarray) -> np.ndarray:
         """``<chi_mu | v | chi_nu>`` for a pointwise potential (H phase)."""
         builder = self._require_bound()
         v = self._check_potential(potential_values)
+        elements = builder.grid.n_points * builder.basis.n_basis
         start = time.perf_counter()
-        out = self._potential_impl(v)
-        self.profile.record(
-            "H",
-            builder.grid.n_points * builder.basis.n_basis,
-            time.perf_counter() - start,
-        )
+        with obs_span("H", category="backend", backend=self.name):
+            out = self._potential_impl(v)
+        self.profile.record("H", elements, time.perf_counter() - start)
+        obs_counter("backend.H.calls")
+        obs_counter("backend.H.elements", elements)
         return out
 
     def first_order_dm(
@@ -249,10 +250,12 @@ class ExecutionBackend:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(U, C^(1), P^(1))`` from a response Hamiltonian (DM phase)."""
         start = time.perf_counter()
-        out = self._dm_impl(h1, inv_gaps, c_occ, c_virt, f_occ)
-        self.profile.record(
-            "DM", int(np.asarray(h1).size), time.perf_counter() - start
-        )
+        with obs_span("DM", category="backend", backend=self.name):
+            out = self._dm_impl(h1, inv_gaps, c_occ, c_virt, f_occ)
+        elements = int(np.asarray(h1).size)
+        self.profile.record("DM", elements, time.perf_counter() - start)
+        obs_counter("backend.DM.calls")
+        obs_counter("backend.DM.elements", elements)
         return out
 
     # ------------------------------------------------------------------
@@ -298,6 +301,10 @@ class ExecutionBackend:
             "basis",
             batch.n_points * builder.basis.n_basis,
             time.perf_counter() - start,
+        )
+        obs_counter("backend.basis.blocks_evaluated")
+        obs_counter(
+            "backend.basis.elements", batch.n_points * builder.basis.n_basis
         )
         return phi_b
 

@@ -90,10 +90,15 @@ class BatchedBackend(ExecutionBackend):
         self.profile.cache_max_bytes = self.cache.max_bytes
 
     def basis_block(self, batch: GridBatch) -> np.ndarray:
+        from repro.obs.tracer import obs_counter
+
         block = self.cache.get(batch.index)
         if block is None:
+            obs_counter("backend.cache.misses")
             block = self._evaluate_block(batch)
             self.cache.put(batch.index, block)
+        else:
+            obs_counter("backend.cache.hits")
         self._sync_cache_stats()
         return block
 

@@ -5,6 +5,9 @@ results out):
 
     python -m repro physics geometry.in --level minimal
     python -m repro physics geometry.in --backend batched
+    python -m repro physics geometry.in --trace out.json
+    python -m repro trace --molecule water --out trace.json
+    python -m repro bench-check --baseline BENCH_backends.json
     python -m repro model geometry.in --machine hpc2 --ranks 2048
     python -m repro model --polyethylene 30002 --machine hpc1 --ranks 4096 --baseline
     python -m repro chaos --seed 2023 --machine hpc2 --ranks 8
@@ -35,17 +38,30 @@ def _load_structure(args: argparse.Namespace):
     if getattr(args, "polyethylene", None):
         return polyethylene(polyethylene_units_for_atoms(args.polyethylene))
     if not args.geometry:
-        raise SystemExit("provide a geometry.in path or --polyethylene N_ATOMS")
+        molecule = getattr(args, "molecule", None)
+        if molecule:
+            from repro.atoms import hydrogen_molecule, water
+
+            return water() if molecule == "water" else hydrogen_molecule()
+        raise SystemExit(
+            "provide a geometry.in path, --polyethylene N_ATOMS or --molecule"
+        )
     return read_geometry_in(args.geometry)
 
 
 def _cmd_physics(args: argparse.Namespace) -> int:
+    from repro.obs import RunReport, Tracer, activate, write_chrome_trace
+
     structure = _load_structure(args)
     settings = get_settings(args.level, backend=args.backend, verify=args.verify)
     print(f"Running all-electron DFPT on {structure} "
           f"(level={args.level}, backend={args.backend})")
     sim = PerturbationSimulator(structure, settings, charge=args.charge)
-    result = sim.run_physics()
+    trace_path = getattr(args, "trace", None)
+    report_path = getattr(args, "report", None)
+    tracer = Tracer() if (trace_path or report_path) else None
+    with activate(tracer):
+        result = sim.run_physics()
     gs = result.ground_state
     print(f"SCF converged in {gs.iterations} iterations: "
           f"E = {gs.total_energy:.6f} Ha")
@@ -66,8 +82,37 @@ def _cmd_physics(args: argparse.Namespace) -> int:
 
         print()
         print(format_verify_report(result.verify_report))
-        if not result.verify_report.ok:
-            return 1
+
+    if tracer is not None:
+        report = RunReport.from_run(
+            label=f"physics:{structure.name}:{args.level}:{args.backend}",
+            timer=None,
+            backend_profile=result.backend_profile,
+            verify_report=result.verify_report,
+            tracer=tracer,
+        )
+        report.phase_seconds = dict(result.phase_seconds)
+        if trace_path:
+            write_chrome_trace(
+                trace_path, tracer.spans,
+                metadata=report.provenance.as_dict() if report.provenance else None,
+            )
+            phase_wall = tracer.phase_wall("phase")
+            reported = sum(result.phase_seconds.values())
+            gap = abs(phase_wall - reported) / reported * 100 if reported else 0.0
+            print()
+            print(f"trace: {len(tracer.spans)} spans -> {trace_path} "
+                  f"(open in Perfetto); phase spans sum to "
+                  f"{phase_wall:.4g}s vs reported {reported:.4g}s "
+                  f"(gap {gap:.2f}%)")
+        if report_path:
+            report.write(report_path)
+            print(f"run report -> {report_path}")
+        print()
+        print(report.render_ascii())
+
+    if result.verify_report is not None and not result.verify_report.ok:
+        return 1
     return 0
 
 
@@ -184,6 +229,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """`repro trace`: a physics run that always emits the trace artifacts."""
+    if not getattr(args, "trace", None):
+        args.trace = "trace.json"
+    return _cmd_physics(args)
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.bench import backend_emission
+    from repro.obs.regress import (
+        baseline_run_parameters,
+        compare_reports,
+        load_baseline,
+    )
+
+    baseline = load_baseline(args.baseline)
+    level, n_sweeps = baseline_run_parameters(baseline)
+    print(f"bench-check: fresh emission (level={level}, {n_sweeps} sweeps) "
+          f"vs baseline {args.baseline}")
+    fresh = backend_emission(level, n_sweeps)
+    if args.write_fresh:
+        from pathlib import Path
+
+        Path(args.write_fresh).write_text(
+            _json.dumps(fresh, indent=2) + "\n"
+        )
+        print(f"fresh emission -> {args.write_fresh}")
+    report = compare_reports(fresh, baseline)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     for machine in (HPC1_SUNWAY, HPC2_AMD):
         acc = machine.accelerator
@@ -217,22 +296,73 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--level", default="minimal" if physics else "light",
                        choices=["minimal", "light", "tight"])
 
+    def add_physics_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--charge", type=int, default=0)
+        p.add_argument(
+            "--backend",
+            default="numpy",
+            choices=available_backends(),
+            help="execution backend for the DM/Sumup/H phases",
+        )
+        p.add_argument(
+            "--verify",
+            default="off",
+            choices=["off", "cheap", "full"],
+            help="run physics-invariant checks at phase boundaries",
+        )
+        p.add_argument(
+            "--report",
+            metavar="PATH",
+            help="write the unified RunReport JSON artifact here",
+        )
+
     p_phys = sub.add_parser("physics", help="run the real SCF + CPSCF pipeline")
     add_common(p_phys, physics=True)
-    p_phys.add_argument("--charge", type=int, default=0)
+    add_physics_opts(p_phys)
     p_phys.add_argument(
-        "--backend",
-        default="numpy",
-        choices=available_backends(),
-        help="execution backend for the DM/Sumup/H phases",
-    )
-    p_phys.add_argument(
-        "--verify",
-        default="off",
-        choices=["off", "cheap", "full"],
-        help="run physics-invariant checks at phase boundaries",
+        "--trace",
+        metavar="PATH",
+        help="write a Perfetto-loadable Chrome trace-event file here",
     )
     p_phys.set_defaults(func=_cmd_physics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="physics run that always writes the span trace "
+        "(Chrome trace-event JSON, Perfetto-loadable)",
+    )
+    add_common(p_trace, physics=True)
+    add_physics_opts(p_trace)
+    p_trace.add_argument(
+        "--out",
+        dest="trace",
+        default="trace.json",
+        metavar="PATH",
+        help="trace output path (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--molecule",
+        choices=["h2", "water"],
+        help="built-in molecule instead of a geometry.in path",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench-check",
+        help="perf-regression gate: fresh backend-benchmark emission vs a "
+        "committed BENCH_*.json baseline with per-metric tolerance bands",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        default="BENCH_backends.json",
+        help="committed baseline artifact (default: ./BENCH_backends.json)",
+    )
+    p_bench.add_argument(
+        "--write-fresh",
+        metavar="PATH",
+        help="also write the fresh emission JSON here (baseline updates)",
+    )
+    p_bench.set_defaults(func=_cmd_bench_check)
 
     p_model = sub.add_parser("model", help="price a configuration at scale")
     add_common(p_model, physics=False)

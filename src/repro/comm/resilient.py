@@ -39,6 +39,7 @@ from repro.errors import (
     RankFailureError,
     ShmCorruptionError,
 )
+from repro.obs.tracer import obs_span, trace_context
 from repro.runtime.machines import MachineSpec
 from repro.runtime.simmpi import SimCluster
 
@@ -85,7 +86,10 @@ class ResilientReduction(ReductionScheme):
         last_error: Optional[Exception] = None
         for position, scheme in enumerate(ladder):
             try:
-                out, report = scheme.reduce(cluster, per_rank_rows)
+                with trace_context(scheme=scheme.name), obs_span(
+                    f"reduce:{scheme.name}", category="comm", scheme=scheme.name
+                ):
+                    out, report = scheme.reduce(cluster, per_rank_rows)
             except DEGRADABLE_FAULTS as exc:
                 last_error = exc
                 if position + 1 < len(ladder):

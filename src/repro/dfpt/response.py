@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.verify.invariants import Verifier
 from repro.dft.xc import lda_xc_kernel
 from repro.errors import CPSCFConvergenceError
+from repro.obs.tracer import obs_event, trace_context
 from repro.runtime.faults import CycleFaultInjector
 from repro.utils.timing import PhaseTimer
 
@@ -140,20 +141,30 @@ class DFPTSolver:
             # Checkpoint of the last converged cycle; an injected fault
             # discards this cycle's work and restarts from here.
             checkpoint = p1.copy()
-            with self.timer.phase("Sumup"):
-                n1 = self.backend.density_on_grid(p1)
-            with self.timer.phase("Rho"):
-                v1_h = gs.solver.hartree_potential(n1)
-            with self.timer.phase("H"):
-                v1_xc = self._fxc * n1
-                v1_total = v1_h + v1_xc
-                h1 = h1_ext + self.backend.potential_matrix(v1_total)
-            with self.timer.phase("DM"):
-                _, c1, p1_new = self._first_order_dm(h1)
+            with trace_context(
+                backend=self.backend.name,
+                loop="cpscf",
+                direction=direction,
+                cycle=iteration,
+            ):
+                with self.timer.phase("Sumup"):
+                    n1 = self.backend.density_on_grid(p1)
+                with self.timer.phase("Rho"):
+                    v1_h = gs.solver.hartree_potential(n1)
+                with self.timer.phase("H"):
+                    v1_xc = self._fxc * n1
+                    v1_total = v1_h + v1_xc
+                    h1 = h1_ext + self.backend.potential_matrix(v1_total)
+                with self.timer.phase("DM"):
+                    _, c1, p1_new = self._first_order_dm(h1)
 
             if self.fault_injector is not None and self.fault_injector.cycle_fault(
                 f"cpscf{direction}", iteration, attempt
             ):
+                obs_event(
+                    "cycle_fault", category="fault",
+                    site=f"cpscf{direction}[{iteration}]", attempt=attempt,
+                )
                 p1 = checkpoint  # restore: redo this cycle from scratch
                 restarts += 1
                 attempt += 1

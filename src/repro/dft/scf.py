@@ -28,6 +28,7 @@ from repro.dft.mixing import PulayMixer
 from repro.dft.xc import lda_exchange_correlation
 from repro.errors import SCFConvergenceError
 from repro.grids.atom_grid import IntegrationGrid, build_grid
+from repro.obs.tracer import obs_event, obs_span, trace_context
 from repro.runtime.faults import CycleFaultInjector
 from repro.utils.linalg import (
     density_matrix_from_orbitals,
@@ -117,7 +118,8 @@ class SCFDriver:
         self.backend = self.builder.backend
         self.solver = MultipoleSolver(self.grid, self.settings.l_max_hartree)
 
-        with self.timer.phase("integrals"):
+        with trace_context(backend=self.backend.name, loop="scf"), \
+                self.timer.phase("integrals"):
             self._s = self.builder.overlap()
             self._t = self.builder.kinetic()
             self._v_ext_values = self.builder.external_potential()
@@ -198,34 +200,41 @@ class SCFDriver:
             # Checkpoint of the last converged cycle; an injected fault
             # below discards this cycle's work and restarts from here.
             checkpoint = p.copy()
-            with self.timer.phase("density"):
-                n_values = self.backend.density_on_grid(p)
-            with self.timer.phase("hartree"):
-                v_h_values = self.solver.hartree_potential(n_values)
-            with self.timer.phase("xc"):
-                xc = lda_exchange_correlation(n_values)
-            with self.timer.phase("hamiltonian"):
-                v_eff = self.backend.potential_matrix(v_h_values + xc.vxc)
-                h = self._t + self._v_ext + v_eff + h_field
-
-            # Fault check sits before the DIIS push so a rolled-back
-            # cycle leaves the mixer history untouched (bit-exactness).
-            if fault_injector is not None and fault_injector.cycle_fault(
-                "scf", iteration, attempt
+            with trace_context(
+                backend=self.backend.name, loop="scf", cycle=iteration
             ):
-                p = checkpoint
-                restarts += 1
-                attempt += 1
-                continue
-            attempt = 0
+                with self.timer.phase("density"):
+                    n_values = self.backend.density_on_grid(p)
+                with self.timer.phase("hartree"):
+                    v_h_values = self.solver.hartree_potential(n_values)
+                with self.timer.phase("xc"):
+                    xc = lda_exchange_correlation(n_values)
+                with self.timer.phase("hamiltonian"):
+                    v_eff = self.backend.potential_matrix(v_h_values + xc.vxc)
+                    h = self._t + self._v_ext + v_eff + h_field
 
-            # DIIS on the Fock matrix with commutator residual.
-            commutator = h @ p @ self._s - self._s @ p @ h
-            residual_norm = float(np.abs(commutator).max())
-            h_mixed = mixer.push(h, commutator)
+                # Fault check sits before the DIIS push so a rolled-back
+                # cycle leaves the mixer history untouched (bit-exactness).
+                if fault_injector is not None and fault_injector.cycle_fault(
+                    "scf", iteration, attempt
+                ):
+                    obs_event(
+                        "cycle_fault", category="fault",
+                        site=f"scf[{iteration}]", attempt=attempt,
+                    )
+                    p = checkpoint
+                    restarts += 1
+                    attempt += 1
+                    continue
+                attempt = 0
 
-            with self.timer.phase("eigensolver"):
-                eps, c = solve_generalized_eigenproblem(h_mixed, self._s)
+                # DIIS on the Fock matrix with commutator residual.
+                commutator = h @ p @ self._s - self._s @ p @ h
+                residual_norm = float(np.abs(commutator).max())
+                h_mixed = mixer.push(h, commutator)
+
+                with self.timer.phase("eigensolver"):
+                    eps, c = solve_generalized_eigenproblem(h_mixed, self._s)
             f = self._occupations(eps.shape[0])
             p_new = density_matrix_from_orbitals(c, f)
 

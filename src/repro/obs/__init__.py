@@ -1,0 +1,91 @@
+"""repro.obs — the unified observability layer (DESIGN §10).
+
+Four pieces, one taxonomy:
+
+* **spans** (:mod:`repro.obs.tracer`) — timed regions with phase /
+  rank / cycle / backend / comm-scheme attributes, propagated
+  ambiently through the SCF and CPSCF drivers, the execution backends,
+  the simulated collectives and the fault injectors;
+* **metrics** (:mod:`repro.obs.metrics`) — deterministic counters,
+  gauges and histograms (bytes reduced, cache hits, blocks evaluated,
+  retries);
+* **artifacts** (:mod:`repro.obs.export`, :mod:`repro.obs.report`) —
+  a Perfetto-loadable Chrome trace-event file and the single
+  :class:`RunReport` JSON/ASCII document that absorbs the legacy
+  ``PhaseTimer`` / ``BackendProfile`` / ``VerifyReport`` trio;
+* **the gate** (:mod:`repro.obs.regress`) — per-metric tolerance-band
+  comparison of a fresh benchmark emission against a committed
+  ``BENCH_*.json`` baseline (``repro bench-check`` / ``make bench-check``).
+
+>>> from repro.obs import Tracer, activate, obs_span
+>>> t = Tracer()
+>>> with activate(t), obs_span("Sumup", rank=0):
+...     pass
+>>> len(t.spans)
+1
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    activate,
+    current_context,
+    current_tracer,
+    obs_counter,
+    obs_event,
+    obs_gauge,
+    obs_histogram,
+    obs_span,
+    trace_context,
+)
+from repro.obs.export import (
+    chrome_trace,
+    cycle_trace_events,
+    span_events,
+    write_chrome_trace,
+)
+from repro.obs.report import Provenance, RunReport, collect_provenance
+from repro.obs.regress import (
+    Band,
+    MetricDelta,
+    RegressionReport,
+    check_against_baseline,
+    compare_reports,
+    default_band,
+    flatten,
+    load_baseline,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_context",
+    "current_tracer",
+    "obs_counter",
+    "obs_event",
+    "obs_gauge",
+    "obs_histogram",
+    "obs_span",
+    "trace_context",
+    "chrome_trace",
+    "cycle_trace_events",
+    "span_events",
+    "write_chrome_trace",
+    "Provenance",
+    "RunReport",
+    "collect_provenance",
+    "Band",
+    "MetricDelta",
+    "RegressionReport",
+    "check_against_baseline",
+    "compare_reports",
+    "default_band",
+    "flatten",
+    "load_baseline",
+]

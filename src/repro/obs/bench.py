@@ -1,0 +1,145 @@
+"""Backend-benchmark emission shared by the CLI gate and the bench script.
+
+The measurement itself (repeated Sumup + H sweeps over every registered
+execution backend on an over-cache-limit system, all outputs asserted
+bit-identical) lives here so that both entry points produce the same
+``BENCH_backends.json`` shape:
+
+* ``benchmarks/bench_backends.py`` — prints the comparison table and
+  (re)writes the committed baseline;
+* ``repro bench-check`` — re-runs the emission at the baseline's own
+  parameters and feeds it to :mod:`repro.obs.regress`.
+
+The emission carries a :class:`~repro.obs.report.Provenance` block, so
+every ``BENCH_*.json`` names the commit, seed and machine models it was
+produced under (the EXPERIMENTS.md footer policy).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.obs.report import collect_provenance
+
+#: Registered backends in comparison order (numpy is the reference).
+BACKEND_ORDER = ("numpy", "batched", "device")
+
+#: Seed of the random density/potential inputs the sweeps contract.
+BENCH_SEED = 2023
+
+
+def build_builders(level: str, cache_limit: int) -> Dict[str, object]:
+    """One MatrixBuilder per backend over a shared basis/grid/batches.
+
+    ``cache_limit=0`` disallows the full basis table, forcing the
+    legacy numpy path to re-evaluate every block per sweep — the
+    contrast the benchmark exists to measure.
+    """
+    from repro.atoms import water
+    from repro.basis import build_basis
+    from repro.config import get_settings
+    from repro.dft.hamiltonian import MatrixBuilder
+    from repro.grids import build_grid
+
+    structure = water()
+    settings = get_settings(level)
+    basis = build_basis(structure)
+    grid = build_grid(structure, settings.grids, with_partition=True)
+    reference = MatrixBuilder(basis, grid, backend="numpy", cache_limit=cache_limit)
+    builders: Dict[str, object] = {"numpy": reference}
+    for name in BACKEND_ORDER[1:]:
+        builders[name] = MatrixBuilder(
+            basis,
+            grid,
+            batches=reference.batches,
+            backend=name,
+            cache_limit=cache_limit,
+        )
+    return builders
+
+
+def sweep(builder, n_sweeps: int, seed: int = BENCH_SEED) -> dict:
+    """Time ``n_sweeps`` Sumup + H passes; return wall time and outputs."""
+    rng = np.random.default_rng(seed)
+    nb = builder.basis.n_basis
+    p = rng.normal(size=(nb, nb))
+    p = p + p.T
+    v = rng.normal(size=builder.grid.n_points)
+    density = potential = None
+    start = time.perf_counter()
+    for _ in range(n_sweeps):
+        density = builder.backend.density_on_grid(p)
+        potential = builder.potential_matrix(v)
+    wall = time.perf_counter() - start
+    return {"wall": wall, "density": density, "potential": potential}
+
+
+def backend_emission(level: str, n_sweeps: int) -> dict:
+    """Run the full comparison; return the ``BENCH_backends.json`` document.
+
+    Raises :class:`~repro.errors.ExperimentError` if any backend's
+    outputs diverge bitwise from the numpy reference — a benchmark must
+    never time a wrong answer.
+    """
+    if n_sweeps < 1:
+        raise ExperimentError(f"need >= 1 sweep, got {n_sweeps}")
+    builders = build_builders(level, cache_limit=0)
+    reference = builders["numpy"]
+    results = {name: sweep(builders[name], n_sweeps) for name in BACKEND_ORDER}
+
+    ref = results["numpy"]
+    for name in BACKEND_ORDER[1:]:
+        if not np.array_equal(ref["density"], results[name]["density"]):
+            raise ExperimentError(f"{name} density diverged from numpy")
+        if not np.array_equal(ref["potential"], results[name]["potential"]):
+            raise ExperimentError(f"{name} potential matrix diverged from numpy")
+
+    report: dict = {
+        "system": "water",
+        "level": level,
+        "n_points": reference.grid.n_points,
+        "n_basis": reference.basis.n_basis,
+        "n_sweeps": n_sweeps,
+        "cache_limit": 0,
+        "backends": {},
+        "provenance": collect_provenance(seed=BENCH_SEED).as_dict(),
+    }
+    for name in BACKEND_ORDER:
+        profile = builders[name].backend.profile
+        wall = results[name]["wall"]
+        speedup = ref["wall"] / wall if wall > 0 else float("inf")
+        report["backends"][name] = {
+            "wall_seconds": wall,
+            "speedup_vs_numpy": speedup,
+            "profile": profile.as_dict(),
+        }
+    report["batched_speedup_vs_numpy"] = report["backends"]["batched"][
+        "speedup_vs_numpy"
+    ]
+    return report
+
+
+def emission_summary_rows(report: dict) -> List[List[str]]:
+    """Table rows (backend, wall, speedup, cache peak, launches) for printing."""
+    from repro.utils.reports import format_bytes, format_seconds
+
+    rows = []
+    for name in BACKEND_ORDER:
+        entry = report["backends"][name]
+        profile = entry["profile"]
+        rows.append(
+            [
+                name,
+                format_seconds(entry["wall_seconds"]),
+                f"{entry['speedup_vs_numpy']:.2f}x",
+                format_bytes(profile["cache"]["peak_bytes"])
+                if name == "batched"
+                else "-",
+                profile["device"]["launches"] or "-",
+            ]
+        )
+    return rows

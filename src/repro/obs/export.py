@@ -1,0 +1,148 @@
+"""Chrome trace-event (Perfetto-loadable) export (DESIGN §10.4).
+
+Two sources feed one ``traceEvents`` JSON file:
+
+* real :class:`~repro.obs.tracer.Span` records from a measured physics
+  run (track = the span's ``rank`` attribute, default rank 0);
+* synthesized per-rank tracks from a modeled
+  :class:`~repro.runtime.trace.CycleTrace`, so the straggler view of
+  the scale model can be opened in the same UI as a measured trace.
+
+Timestamps are microseconds (the trace-event format's unit), strictly
+non-negative, and non-decreasing in emission order within each track.
+Open the output at https://ui.perfetto.dev or ``chrome://tracing``.
+
+>>> from repro.obs.tracer import Tracer
+>>> t = Tracer()
+>>> with t.span("Sumup", rank=0):
+...     pass
+>>> doc = chrome_trace(t.spans)
+>>> doc["traceEvents"][-1]["ph"]
+'X'
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Span
+    from repro.runtime.trace import CycleTrace
+
+#: Process ids used for the two track families.
+MEASURED_PID = 0
+MODELED_PID = 1
+
+_US = 1e6  # seconds -> microseconds
+
+
+def _meta(pid: int, tid: int, name: str) -> Dict[str, object]:
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _clean_args(attrs: Dict[str, object]) -> Dict[str, object]:
+    return {k: v for k, v in attrs.items() if isinstance(v, (str, int, float, bool))}
+
+
+def span_events(
+    spans: Sequence["Span"], pid: int = MEASURED_PID
+) -> List[Dict[str, object]]:
+    """Trace events for measured spans (one track per ``rank`` attribute).
+
+    Duration spans become complete (``ph="X"``) events; instant spans
+    (injected faults, degradations) become instant (``ph="i"``) events.
+    """
+    events: List[Dict[str, object]] = []
+    seen_tids: Dict[int, str] = {}
+    for sp in spans:
+        tid = int(sp.attrs.get("rank", 0))  # type: ignore[arg-type]
+        seen_tids.setdefault(tid, f"rank {tid}")
+        base = {
+            "name": sp.name,
+            "cat": sp.category,
+            "pid": pid,
+            "tid": tid,
+            "ts": max(0.0, sp.start) * _US,
+            "args": _clean_args(sp.attrs),
+        }
+        if sp.instant:
+            base.update({"ph": "i", "s": "t"})
+        else:
+            base.update({"ph": "X", "dur": sp.duration * _US})
+        events.append(base)
+    metas = [_meta(pid, tid, name) for tid, name in sorted(seen_tids.items())]
+    return metas + sorted(events, key=lambda e: (e["tid"], e["ts"]))
+
+
+def cycle_trace_events(
+    trace: "CycleTrace", pid: int = MODELED_PID, label: str = "modeled"
+) -> List[Dict[str, object]]:
+    """Synthesized per-rank tracks from one modeled cycle timeline.
+
+    Each :class:`~repro.runtime.trace.Interval` becomes a complete
+    event on its rank's track; zero-duration intervals are dropped
+    (they carry no information and would render as 0-width slivers).
+    """
+    events: List[Dict[str, object]] = [
+        _meta(pid, r, f"{label} rank {r}") for r in range(trace.n_ranks)
+    ]
+    for iv in sorted(trace.intervals, key=lambda iv: (iv.rank, iv.start)):
+        if iv.duration <= 0.0:
+            continue
+        events.append(
+            {
+                "name": iv.phase,
+                "cat": "model",
+                "ph": "X",
+                "pid": pid,
+                "tid": iv.rank,
+                "ts": max(0.0, iv.start) * _US,
+                "dur": iv.duration * _US,
+                "args": {"rank": iv.rank},
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    spans: Sequence["Span"] = (),
+    cycle_traces: Iterable["CycleTrace"] = (),
+    metadata: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble one trace-event document from spans and modeled cycles.
+
+    ``metadata`` lands in the document's ``otherData`` section (the
+    format's free-form run-provenance slot).
+    """
+    events: List[Dict[str, object]] = []
+    events.extend(span_events(spans))
+    for i, ct in enumerate(cycle_traces):
+        events.extend(cycle_trace_events(ct, pid=MODELED_PID + i))
+    doc: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = metadata
+    return doc
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    spans: Sequence["Span"] = (),
+    cycle_traces: Iterable["CycleTrace"] = (),
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write a Perfetto-loadable JSON file; returns the path written."""
+    path = Path(path)
+    doc = chrome_trace(spans, cycle_traces, metadata=metadata)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path

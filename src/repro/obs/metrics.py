@@ -1,0 +1,174 @@
+"""Counters, gauges and histograms for the observability layer (DESIGN §10.3).
+
+A *metric* is a named scalar accumulated over one run — bytes reduced,
+block-cache hits, basis blocks evaluated, collective retries — as
+opposed to a *span*, which is a timed region.  The registry is
+deliberately deterministic: metric values depend only on the work
+performed, never on wall-clock time, so two bit-identical runs (e.g.
+the same sweep under two execution backends) produce identical
+snapshots.  That determinism is what the regression gate and the
+cross-backend tests assert.
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("comm.bytes_reduced").inc(1024)
+>>> reg.counter("comm.bytes_reduced").inc(1024)
+>>> reg.gauge("cache.peak_bytes").set(4096)
+>>> reg.histogram("batch.points").observe(200)
+>>> reg.as_dict()["counters"]["comm.bytes_reduced"]
+2048
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing integer metric.
+
+    >>> c = Counter("retries")
+    >>> c.inc(); c.inc(2); c.value
+    3
+    """
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be >= 0; counters never decrease)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self.value += int(amount)
+
+
+@dataclass
+class Gauge:
+    """Last-written scalar metric (e.g. a peak or a configuration value).
+
+    >>> g = Gauge("cache.peak_bytes")
+    >>> g.set(10.0); g.set_max(4.0); g.value
+    10.0
+    """
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum of all written values."""
+        self.value = max(self.value, float(value))
+
+
+@dataclass
+class Histogram:
+    """Streaming summary (count/sum/min/max) of observed samples.
+
+    Samples are not stored individually, so memory is O(1) no matter
+    how many observations arrive.
+
+    >>> h = Histogram("batch.points")
+    >>> for v in (100, 300, 200): h.observe(v)
+    >>> h.count, h.sum, h.min, h.max
+    (3, 600.0, 100.0, 300.0)
+    >>> round(h.mean, 1)
+    200.0
+    """
+
+    name: str
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one sample in."""
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        self.min = v if v < self.min else self.min
+        self.max = v if v > self.max else self.max
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 before any observation)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with a deterministic snapshot.
+
+    Names are free-form dotted paths (``comm.bytes_reduced``,
+    ``backend.Sumup.calls``); the snapshot is sorted by name so its JSON
+    form is byte-stable across runs that performed the same work.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("a").inc(); reg.counter("a").value
+    1
+    >>> reg.counter("a") is reg.counter("a")
+    True
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on first use)."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name* (created on first use)."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under *name* (created on first use)."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-friendly snapshot, sorted by metric name."""
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "mean": h.mean,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's accumulations into this one."""
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other._gauges.items():
+            self.gauge(name).set_max(g.value)
+        for name, h in other._histograms.items():
+            mine = self.histogram(name)
+            mine.count += h.count
+            mine.sum += h.sum
+            if h.count:
+                mine.min = min(mine.min, h.min)
+                mine.max = max(mine.max, h.max)

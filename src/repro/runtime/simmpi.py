@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.errors import CollectiveTimeoutError, CommunicationError, RankFailureError
+from repro.obs.tracer import obs_counter, obs_event, obs_span
 from repro.runtime.costmodel import CommCostModel
 from repro.runtime.faults import FaultEvent, FaultPlan, RetryPolicy
 from repro.runtime.machines import MachineSpec
@@ -174,6 +175,7 @@ class SimCluster:
     def record_degradation(self, description: str) -> None:
         """Note a fallback path taken by a communication scheme."""
         self.stats.degradations.append(description)
+        obs_event("degradation", category="fault", detail=description)
 
 
 class SimComm:
@@ -211,10 +213,15 @@ class SimComm:
     def _charge(self, messages: int, nbytes: int, seconds: float) -> None:
         self.stats.charge(messages, nbytes, seconds)
         self.cluster.stats.charge(messages, nbytes, seconds)
+        obs_counter("comm.collectives")
+        obs_counter("comm.messages", messages)
+        obs_counter("comm.bytes_moved", nbytes)
 
     def _bump(self, attr: str, amount=1) -> None:
         for stats in (self.stats, self.cluster.stats):
             setattr(stats, attr, getattr(stats, attr) + amount)
+        if isinstance(amount, int):
+            obs_counter(f"comm.{attr}", amount)
 
     def _resilient(self, op_name: str, nbytes: int, execute: Callable):
         """Run one collective body under the cluster's fault plan.
@@ -278,6 +285,10 @@ class SimComm:
 
     def _record(self, event: FaultEvent) -> None:
         self.cluster.record_event(event)
+        obs_event(
+            event.kind, category="fault",
+            site=event.site, rank=event.rank, delay=event.delay,
+        )
 
     # ------------------------------------------------------------------
     # Collectives (bit-exact over the actual data)
@@ -304,9 +315,11 @@ class SimComm:
             self._charge(
                 messages=2 * (self.size - 1), nbytes=int(result.nbytes), seconds=t
             )
+            obs_counter("comm.bytes_reduced", int(result.nbytes))
             return result
 
-        return self._resilient("allreduce", nbytes, execute)
+        with obs_span("allreduce", category="comm", ranks=self.size, nbytes=nbytes):
+            return self._resilient("allreduce", nbytes, execute)
 
     def bcast(self, buffer: np.ndarray, root_to_all: bool = True) -> List[np.ndarray]:
         """Broadcast one buffer to every rank (returns per-rank copies)."""
@@ -318,7 +331,8 @@ class SimComm:
             self._charge(messages=self.size - 1, nbytes=nbytes, seconds=t)
             return [arr.copy() for _ in self.ranks]
 
-        return self._resilient("bcast", nbytes, execute)
+        with obs_span("bcast", category="comm", ranks=self.size, nbytes=nbytes):
+            return self._resilient("bcast", nbytes, execute)
 
     def gather(self, buffers: Sequence[np.ndarray]) -> np.ndarray:
         """Concatenate per-rank buffers on a virtual root."""
@@ -334,7 +348,8 @@ class SimComm:
             self._charge(messages=self.size - 1, nbytes=nbytes, seconds=t)
             return np.concatenate([a.ravel() for a in arrs])
 
-        return self._resilient("gather", nbytes, execute)
+        with obs_span("gather", category="comm", ranks=self.size, nbytes=nbytes):
+            return self._resilient("gather", nbytes, execute)
 
     def barrier(self) -> None:
         """Synchronize all ranks (cost only)."""
@@ -343,7 +358,8 @@ class SimComm:
             t = self.cost.barrier(self.size)
             self._charge(messages=self.size, nbytes=0, seconds=t)
 
-        return self._resilient("barrier", 0, execute)
+        with obs_span("barrier", category="comm", ranks=self.size):
+            return self._resilient("barrier", 0, execute)
 
     # ------------------------------------------------------------------
     def node_subcomms(self) -> List["SimComm"]:

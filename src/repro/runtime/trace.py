@@ -22,7 +22,11 @@ POINT_SCALED_PHASES = ("Sumup", "Rho", "H")
 
 @dataclass(frozen=True)
 class Interval:
-    """One rank's occupation of one phase."""
+    """One rank's occupation of one phase.
+
+    >>> Interval(rank=0, phase="DM", start=0.5, end=2.0).duration
+    1.5
+    """
 
     rank: int
     phase: str
@@ -31,12 +35,21 @@ class Interval:
 
     @property
     def duration(self) -> float:
+        """Elapsed seconds of this occupation."""
         return self.end - self.start
 
 
 @dataclass
 class CycleTrace:
-    """All intervals of one cycle across all ranks."""
+    """All intervals of one cycle across all ranks.
+
+    >>> t = CycleTrace(2, [Interval(0, "DM", 0.0, 1.0),
+    ...                    Interval(1, "DM", 0.0, 0.5)])
+    >>> t.span
+    1.0
+    >>> t.utilization()
+    0.75
+    """
 
     n_ranks: int
     intervals: List[Interval]
@@ -47,6 +60,11 @@ class CycleTrace:
         return max((iv.end for iv in self.intervals), default=0.0)
 
     def busy_time(self, rank: int) -> float:
+        """Summed interval duration of one rank.
+
+        >>> CycleTrace(1, [Interval(0, "H", 0.0, 2.0)]).busy_time(0)
+        2.0
+        """
         return sum(iv.duration for iv in self.intervals if iv.rank == rank)
 
     def utilization(self) -> float:
@@ -64,7 +82,13 @@ class CycleTrace:
         return total_busy / (span * self.n_ranks)
 
     def imbalance(self) -> float:
-        """Max/mean busy-time ratio."""
+        """Max/mean busy-time ratio.
+
+        >>> t = CycleTrace(2, [Interval(0, "H", 0.0, 3.0),
+        ...                    Interval(1, "H", 0.0, 1.0)])
+        >>> t.imbalance()
+        1.5
+        """
         if self.n_ranks < 1:
             raise ExperimentError("trace needs at least one rank")
         if not self.intervals:
@@ -83,6 +107,13 @@ class CycleTrace:
         rank idle while the late rank computes (phase ``Idle``), any
         other kind stalls the whole communicator in backoff (phase
         ``Retry``).  Returns a new trace; the original is unchanged.
+
+        >>> from types import SimpleNamespace
+        >>> t = CycleTrace(2, [Interval(0, "DM", 0.0, 1.0),
+        ...                    Interval(1, "DM", 0.0, 1.0)])
+        >>> ev = SimpleNamespace(kind="straggler", rank=0, delay=0.5)
+        >>> t.with_fault_events([ev]).span
+        1.5
         """
         intervals = list(self.intervals)
         cursor = self.span
@@ -99,7 +130,13 @@ class CycleTrace:
         return CycleTrace(n_ranks=self.n_ranks, intervals=intervals)
 
     def phase_spans(self) -> Dict[str, float]:
-        """Wall-clock occupied by each phase (across all ranks)."""
+        """Wall-clock occupied by each phase (across all ranks).
+
+        >>> t = CycleTrace(2, [Interval(0, "DM", 0.0, 1.0),
+        ...                    Interval(1, "DM", 0.5, 2.0)])
+        >>> t.phase_spans()
+        {'DM': 2.0}
+        """
         out: Dict[str, float] = {}
         for iv in self.intervals:
             lo, hi = out.get(iv.phase, (np.inf, 0.0)) if iv.phase in out else (iv.start, iv.end)
@@ -107,11 +144,29 @@ class CycleTrace:
         return {k: v[1] - v[0] for k, v in out.items()}
 
     def render_ascii(self, width: int = 72, max_ranks: int = 8) -> str:
-        """Gantt chart: one row per rank, one letter per phase."""
+        """Gantt chart: one row per rank, one letter per phase.
+
+        Only the first ``max_ranks`` ranks get a row, but nothing about
+        the elided ranks is silently dropped: an explicit
+        ``... (+N ranks elided)`` marker names how many rows are
+        missing, and the legend covers every phase in the trace — even
+        one that occurs only on an elided rank.
+
+        >>> t = CycleTrace(2, [Interval(0, "DM", 0.0, 1.0),
+        ...                    Interval(1, "DM", 0.0, 1.0)])
+        >>> print(t.render_ascii(width=12, max_ranks=1))
+        rank    0 |DDDDDDDDDDD |
+        ... (+1 ranks elided)
+        legend: D=DM  span=1s
+        """
         span = self.span
         if span <= 0.0:
             return "(empty trace)"
-        letters = {}
+        # Legend letters come from *all* intervals so phases that occur
+        # only on elided ranks still appear (first-seen order).
+        letters: Dict[str, str] = {}
+        for iv in self.intervals:
+            letters.setdefault(iv.phase, iv.phase[0])
         rows = []
         shown = min(self.n_ranks, max_ranks)
         for r in range(shown):
@@ -119,14 +174,14 @@ class CycleTrace:
             for iv in self.intervals:
                 if iv.rank != r:
                     continue
-                letter = letters.setdefault(iv.phase, iv.phase[0])
+                letter = letters[iv.phase]
                 lo = int(iv.start / span * (width - 1))
                 hi = max(lo + 1, int(np.ceil(iv.end / span * (width - 1))))
                 for c in range(lo, min(hi, width)):
                     row[c] = letter
             rows.append(f"rank {r:4d} |{''.join(row)}|")
         if self.n_ranks > shown:
-            rows.append(f"... ({self.n_ranks - shown} more ranks)")
+            rows.append(f"... (+{self.n_ranks - shown} ranks elided)")
         legend = "  ".join(f"{v}={k}" for k, v in letters.items())
         return "\n".join(rows + [f"legend: {legend}  span={span:.3g}s"])
 
@@ -141,6 +196,10 @@ def trace_cycle(
     rank); each rank's grid phases shrink proportionally to its point
     share, ``DM`` is uniform, and ``Comm`` is a synchronizing collective
     entered only when every rank finished the compute phases.
+
+    >>> t = trace_cycle({"DM": 1.0, "Comm": 0.5}, points_per_rank=[100, 50])
+    >>> t.n_ranks, t.span
+    (2, 1.5)
     """
     points = np.asarray(points_per_rank, dtype=float)
     if points.size == 0 or points.max() <= 0:

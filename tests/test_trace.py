@@ -44,6 +44,27 @@ class TestTraceCycle:
         art = trace.render_ascii(width=40)
         assert "rank    0" in art and "legend:" in art
 
+    def test_render_ascii_elision_marker(self):
+        # Regression: elided ranks used to disappear without a count.
+        trace = trace_cycle(PHASES, [100] * 12)
+        art = trace.render_ascii(width=40, max_ranks=8)
+        assert "... (+4 ranks elided)" in art
+        assert art.count("rank ") == 8
+        # No marker when every rank fits.
+        assert "elided" not in trace.render_ascii(width=40, max_ranks=12)
+
+    def test_render_ascii_legend_covers_elided_phases(self):
+        # A phase that occurs only on an elided rank must still be in
+        # the legend — nothing about hidden rows is silently dropped.
+        intervals = [
+            Interval(0, "DM", 0.0, 1.0),
+            Interval(1, "Retry", 0.0, 1.0),
+        ]
+        trace = CycleTrace(n_ranks=2, intervals=intervals)
+        art = trace.render_ascii(width=20, max_ranks=1)
+        assert "... (+1 ranks elided)" in art
+        assert "R=Retry" in art
+
     def test_validation(self):
         with pytest.raises(ExperimentError):
             trace_cycle(PHASES, [])

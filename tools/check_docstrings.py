@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Fail when an audited public module/class/function lacks a docstring.
+
+Part of ``make docs-check`` (DESIGN §10.7); the audited module list
+lives in :mod:`repro.testing.docs`.  Run from the repo root::
+
+    PYTHONPATH=src python tools/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.testing.docs import AUDITED_MODULES, missing_docstrings
+
+
+def main() -> int:
+    offenders = missing_docstrings()
+    if offenders:
+        print(f"{len(offenders)} public object(s) missing docstrings:")
+        for path in offenders:
+            print(f"  {path}")
+        return 1
+    print(f"docstring lint: {len(AUDITED_MODULES)} modules audited, all public "
+          "objects documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
