@@ -3,7 +3,8 @@
 
 PYTHON ?= python
 
-.PHONY: test chaos smoke bench-smoke bench-check docs-check trace verify
+.PHONY: test chaos smoke bench-smoke bench-check docs-check trace analyze \
+	history-check verify
 
 # Tier-1: the fast default profile (chaos sweeps deselected via addopts).
 test:
@@ -25,24 +26,42 @@ bench-smoke:
 # Perf-regression gate: re-run the backend benchmark at the committed
 # baseline's own parameters and compare metric-by-metric (exact bands
 # for deterministic counters, one-sided bands for wall times/speedups).
+# Every run appends one provenance-stamped entry to BENCH_history.jsonl.
 bench-check:
-	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_backends.json
+	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_backends.json \
+		--history BENCH_history.jsonl
 
 # Documentation gate: every doctest in the observability-facing modules
 # must run, and every audited public object must carry a docstring.
 docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules -q \
-		src/repro/obs src/repro/utils/timing.py src/repro/runtime/trace.py \
+		src/repro/obs src/repro/utils/timing.py src/repro/utils/balance.py \
+		src/repro/utils/artifacts.py src/repro/runtime/trace.py \
 		src/repro/testing/docs.py
 	PYTHONPATH=src $(PYTHON) tools/check_docstrings.py
 
 # Span trace of a real physics run, openable at https://ui.perfetto.dev.
+# --force: the artifacts are regenerated on every invocation.
 trace:
 	PYTHONPATH=src $(PYTHON) -m repro trace --molecule water --level minimal \
-		--out trace.json --report run_report.json
+		--out trace.json --report run_report.json --force
+
+# Post-mortem analytics: record a trace, then render the timeline /
+# critical-path / imbalance dashboard and the scaling-attribution tables.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro trace --molecule water --level minimal \
+		--out trace.json --report run_report.json --force
+	PYTHONPATH=src $(PYTHON) -m repro analyze trace trace.json --top 12
+	PYTHONPATH=src $(PYTHON) -m repro analyze scaling --atoms 602 \
+		--base-ranks 8 --points 2
+
+# Trend detection over the benchmark history (non-fatal when empty).
+history-check:
+	PYTHONPATH=src $(PYTHON) -m repro analyze history --path BENCH_history.jsonl
 
 # Physics-invariant + golden + differential-conformance check on H2,
-# plus the perf-regression and documentation gates (all tier-1 sized).
-# `python -m repro verify` (no args) covers both reference molecules.
-verify: bench-check docs-check
+# plus the perf-regression, documentation and history-trend gates (all
+# tier-1 sized).  `python -m repro verify` (no args) covers both
+# reference molecules.
+verify: bench-check docs-check history-check
 	PYTHONPATH=src $(PYTHON) -m repro verify --molecule h2

@@ -6,13 +6,22 @@ results out):
     python -m repro physics geometry.in --level minimal
     python -m repro physics geometry.in --backend batched
     python -m repro physics geometry.in --trace out.json
-    python -m repro trace --molecule water --out trace.json
-    python -m repro bench-check --baseline BENCH_backends.json
+    python -m repro trace --molecule water --out trace.json --force
+    python -m repro bench-check --baseline BENCH_backends.json --history BENCH_history.jsonl
+    python -m repro analyze trace trace.json
+    python -m repro analyze diff base.json fresh.json
+    python -m repro analyze scaling --atoms 3002
+    python -m repro analyze history
     python -m repro model geometry.in --machine hpc2 --ranks 2048
     python -m repro model --polyethylene 30002 --machine hpc1 --ranks 4096 --baseline
     python -m repro chaos --seed 2023 --machine hpc2 --ranks 8
     python -m repro verify --molecule h2
     python -m repro info
+
+Artifact-writing commands refuse to overwrite an existing output file
+unless ``--force`` is given, and create missing parent directories.
+Library failures (:class:`~repro.errors.ReproError`) exit with status 2
+and a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -30,7 +39,9 @@ from repro.config import get_settings
 from repro.core import OptimizationFlags, PerturbationSimulator
 from repro.dfpt.polarizability import isotropic_polarizability
 from repro.backends import available_backends
+from repro.errors import ReproError
 from repro.runtime import HPC1_SUNWAY, HPC2_AMD, machine_by_name
+from repro.utils.artifacts import prepare_artifact_path
 from repro.utils.reports import format_backend_profile, format_bytes, format_seconds
 
 
@@ -57,8 +68,15 @@ def _cmd_physics(args: argparse.Namespace) -> int:
     print(f"Running all-electron DFPT on {structure} "
           f"(level={args.level}, backend={args.backend})")
     sim = PerturbationSimulator(structure, settings, charge=args.charge)
+    # Validate every output path *before* the run: a doomed artifact
+    # write must fail fast, not after the SCF+CPSCF work.
+    force = getattr(args, "force", False)
     trace_path = getattr(args, "trace", None)
     report_path = getattr(args, "report", None)
+    if trace_path:
+        trace_path = prepare_artifact_path(trace_path, force=force)
+    if report_path:
+        report_path = prepare_artifact_path(report_path, force=force)
     tracer = Tracer() if (trace_path or report_path) else None
     with activate(tracer):
         result = sim.run_physics()
@@ -239,6 +257,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     import json as _json
 
+    from repro.obs.analyze.history import (
+        append_entry,
+        latest_parameters,
+        load_history,
+        rolling_baseline,
+    )
     from repro.obs.bench import backend_emission
     from repro.obs.regress import (
         baseline_run_parameters,
@@ -246,19 +270,144 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         load_baseline,
     )
 
-    baseline = load_baseline(args.baseline)
-    level, n_sweeps = baseline_run_parameters(baseline)
-    print(f"bench-check: fresh emission (level={level}, {n_sweeps} sweeps) "
-          f"vs baseline {args.baseline}")
+    history = load_history(args.history) if args.history else []
+    if args.against_history and history:
+        level, n_sweeps = latest_parameters(history)
+        baseline = rolling_baseline(history, window=args.window)
+        print(
+            f"bench-check: fresh emission (level={level}, {n_sweeps} sweeps) "
+            f"vs rolling median of last {min(args.window, len(history))} "
+            f"history entr{'y' if len(history) == 1 else 'ies'} "
+            f"({args.history})"
+        )
+    else:
+        if args.against_history:
+            print(f"history {args.history} is empty; "
+                  "falling back to the committed baseline")
+        baseline = load_baseline(args.baseline)
+        level, n_sweeps = baseline_run_parameters(baseline)
+        print(f"bench-check: fresh emission (level={level}, {n_sweeps} sweeps) "
+              f"vs baseline {args.baseline}")
     fresh = backend_emission(level, n_sweeps)
     if args.write_fresh:
         from pathlib import Path
 
         Path(args.write_fresh).write_text(
-            _json.dumps(fresh, indent=2) + "\n"
+            _json.dumps(fresh, indent=2, sort_keys=True) + "\n"
         )
         print(f"fresh emission -> {args.write_fresh}")
     report = compare_reports(fresh, baseline)
+    print(report.render())
+    if args.history:
+        append_entry(args.history, fresh, gate_ok=report.ok)
+        print(f"history: appended entry #{len(history) + 1} -> {args.history}")
+    return 0 if report.ok else 1
+
+
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import (
+        comm_matrix,
+        critical_path,
+        load_run,
+        phase_imbalances,
+        render_comm_matrix,
+        render_phase_imbalances,
+    )
+
+    timeline = load_run(args.trace)
+    print(timeline.summary())
+    print()
+    print(critical_path(timeline).render(top=args.top))
+    rows = phase_imbalances(timeline)
+    if rows:
+        print()
+        print(render_phase_imbalances(rows, label=timeline.label))
+    matrix = comm_matrix(timeline)
+    if matrix:
+        print()
+        print(render_comm_matrix(matrix, label=timeline.label))
+    return 0
+
+
+def _cmd_analyze_diff(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import diff_timelines, load_run
+    from repro.obs.regress import compare_reports, load_baseline
+
+    diff = diff_timelines(load_run(args.base), load_run(args.fresh))
+    offenders = None
+    if args.gate:
+        gate = compare_reports(
+            load_baseline(args.gate[1]), load_baseline(args.gate[0])
+        )
+        offenders = gate.offenders
+    print(diff.narrative(top_k=args.top, offenders=offenders))
+    return 0
+
+
+def _cmd_analyze_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments.fig15_strong import run_fig15_strong
+    from repro.experiments.fig16_weak import run_fig16_weak
+    from repro.obs.analyze import (
+        mapping_attribution,
+        render_mapping_attributions,
+        render_scaling,
+        render_scheme_costs,
+        scheme_cost_table,
+    )
+    from repro.experiments.common import polyethylene_simulator
+
+    ranks = [args.base_ranks * 2 ** i for i in range(args.points)]
+    print(f"strong scaling: {args.atoms} atoms, ranks {ranks}")
+    fig15 = run_fig15_strong(
+        n_atoms=args.atoms, ranks_hpc1=ranks, ranks_hpc2=ranks
+    )
+    for series in fig15.series:
+        print()
+        print(render_scaling(
+            series.points(),
+            title=f"strong scaling [{series.label}], {args.atoms} atoms",
+        ))
+    # Weak series doubles the chain; atom counts must stay of the
+    # 6n+2 polyethylene form, so double the unit count instead.
+    units = polyethylene_units_for_atoms(args.atoms)
+    cases = tuple(
+        (6 * units * 2 ** i + 2, ranks[i], ranks[i])
+        for i in range(args.points)
+    )
+    fig16 = run_fig16_weak(cases=cases)
+    for series in fig16.series:
+        print()
+        print(render_scaling(
+            series.points(),
+            title=f"weak scaling [{series.label}]",
+            weak=True,
+        ))
+    sim = polyethylene_simulator(args.atoms)
+    rows = [
+        mapping_attribution(sim.assignment(args.base_ranks, locality), sim.batches)
+        for locality in (False, True)
+    ]
+    print()
+    print(render_mapping_attributions(rows))
+    n_basis = sim.workload.n_basis
+    costs = scheme_cost_table(
+        HPC2_AMD, args.base_ranks, n_rows=n_basis, row_bytes=8 * n_basis
+    )
+    print()
+    print(render_scheme_costs(costs, HPC2_AMD.name, args.base_ranks))
+    return 0
+
+
+def _cmd_analyze_history(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import detect_trends, load_history
+
+    entries = load_history(args.path)
+    if not entries:
+        print(f"no benchmark history at {args.path}")
+        return 0
+    report = detect_trends(
+        entries, window=args.window, threshold=args.threshold
+    )
     print(report.render())
     return 0 if report.ok else 1
 
@@ -315,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="write the unified RunReport JSON artifact here",
         )
+        p.add_argument(
+            "--force",
+            action="store_true",
+            help="overwrite existing --trace/--report artifacts",
+        )
 
     p_phys = sub.add_parser("physics", help="run the real SCF + CPSCF pipeline")
     add_common(p_phys, physics=True)
@@ -362,7 +516,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the fresh emission JSON here (baseline updates)",
     )
+    p_bench.add_argument(
+        "--history",
+        metavar="PATH",
+        help="append the provenance-stamped fresh emission to this "
+        "BENCH_history.jsonl log after gating",
+    )
+    p_bench.add_argument(
+        "--against-history",
+        action="store_true",
+        help="gate against the rolling median of the --history window "
+        "instead of the committed baseline",
+    )
+    p_bench.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="history entries in the rolling-baseline window (default: 5)",
+    )
     p_bench.set_defaults(func=_cmd_bench_check)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="post-mortem analytics over recorded artifacts (traces, "
+        "run reports, benchmark history)",
+    )
+    an_sub = p_an.add_subparsers(dest="analyze_command", required=True)
+
+    p_at = an_sub.add_parser(
+        "trace",
+        help="timeline summary, critical path, per-phase imbalance and "
+        "communication matrix of one recorded run",
+    )
+    p_at.add_argument("trace", help="Chrome trace-event or RunReport JSON")
+    p_at.add_argument("--top", type=int, default=None, metavar="K",
+                      help="show only the K slowest critical-path steps")
+    p_at.set_defaults(func=_cmd_analyze_trace)
+
+    p_ad = an_sub.add_parser(
+        "diff",
+        help="A/B wall-time attribution between two recorded runs "
+        "(explain the regression)",
+    )
+    p_ad.add_argument("base", help="trusted base run artifact")
+    p_ad.add_argument("fresh", help="candidate run artifact")
+    p_ad.add_argument("--top", type=int, default=5, metavar="K",
+                      help="ranked contributions to show (default: 5)")
+    p_ad.add_argument(
+        "--gate",
+        nargs=2,
+        metavar=("BASE_BENCH", "FRESH_BENCH"),
+        help="also run the perf gate on these two BENCH_*.json emissions "
+        "and fold its offenders into the narrative",
+    )
+    p_ad.set_defaults(func=_cmd_analyze_diff)
+
+    p_as = an_sub.add_parser(
+        "scaling",
+        help="strong/weak scaling dashboards (Figs. 15/16) plus "
+        "mapping and reduction-scheme attribution (Figs. 9/10)",
+    )
+    p_as.add_argument("--atoms", type=int, default=3002,
+                      help="smallest polyethylene chain (default: 3002)")
+    p_as.add_argument("--base-ranks", type=int, default=128,
+                      help="smallest rank count (default: 128)")
+    p_as.add_argument("--points", type=int, default=3,
+                      help="doublings per series (default: 3)")
+    p_as.set_defaults(func=_cmd_analyze_scaling)
+
+    p_ah = an_sub.add_parser(
+        "history",
+        help="trend detection over the benchmark history log",
+    )
+    p_ah.add_argument("--path", default="BENCH_history.jsonl",
+                      help="history log (default: ./BENCH_history.jsonl)")
+    p_ah.add_argument("--window", type=int, default=5, metavar="N")
+    p_ah.add_argument("--threshold", type=float, default=0.25,
+                      help="relative drift that flags a trend (default: 0.25)")
+    p_ah.set_defaults(func=_cmd_analyze_history)
 
     p_model = sub.add_parser("model", help="price a configuration at scale")
     add_common(p_model, physics=False)
@@ -417,7 +649,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

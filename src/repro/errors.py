@@ -91,6 +91,11 @@ class ExperimentError(ReproError):
     """An experiment/benchmark harness was configured inconsistently."""
 
 
+class ArtifactError(ReproError):
+    """An output artifact cannot be written safely (e.g. it already
+    exists and overwriting was not explicitly requested)."""
+
+
 class VerificationError(ReproError):
     """A physics invariant, golden snapshot or conformance check failed."""
 

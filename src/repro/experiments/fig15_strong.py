@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.simulator import PerturbationSimulator
 from repro.experiments.common import polyethylene_simulator
+from repro.obs.analyze.scaling import ScalingPoint, strong_scaling
 from repro.runtime.machines import HPC1_SUNWAY, HPC2_AMD
 from repro.utils.reports import TableFormatter, format_seconds
 
@@ -37,15 +38,15 @@ class StrongSeries:
     ranks: List[int]
     cycle_seconds: List[float]
 
+    def points(self) -> List[ScalingPoint]:
+        """The series through the shared strong-scaling definition."""
+        return strong_scaling(self.ranks, self.cycle_seconds)
+
     def speedups(self) -> List[float]:
-        base = self.cycle_seconds[0]
-        return [base / t for t in self.cycle_seconds]
+        return [pt.speedup for pt in self.points()]
 
     def efficiencies(self) -> List[float]:
-        sp = self.speedups()
-        return [
-            s / (p / self.ranks[0]) for s, p in zip(sp, self.ranks)
-        ]
+        return [pt.efficiency for pt in self.points()]
 
 
 @dataclass

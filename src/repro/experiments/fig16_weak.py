@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.experiments.common import polyethylene_simulator
+from repro.obs.analyze.scaling import ScalingPoint, weak_scaling
 from repro.runtime.machines import HPC1_SUNWAY, HPC2_AMD
 from repro.utils.reports import TableFormatter, format_seconds
 
@@ -33,14 +34,17 @@ class WeakSeries:
     ranks: List[int]
     cycle_seconds: List[float]
 
+    def points(self) -> List[ScalingPoint]:
+        """The series through the shared weak-scaling definition."""
+        return weak_scaling(self.atoms, self.ranks, self.cycle_seconds)
+
     def efficiencies(self) -> List[float]:
         """Weak-scaling efficiency vs the first point.
 
         Work per rank is ~constant across the series (atoms/ranks fixed
         by construction), so efficiency is simply t_0 / t_i.
         """
-        base = self.cycle_seconds[0]
-        return [base / t for t in self.cycle_seconds]
+        return [pt.efficiency for pt in self.points()]
 
 
 @dataclass

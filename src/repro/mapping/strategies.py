@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import MappingError
 from repro.grids.batching import GridBatch
+from repro.utils.balance import max_mean_imbalance
 
 
 @dataclass(frozen=True)
@@ -58,12 +59,16 @@ class BatchAssignment:
         return out
 
     def imbalance(self, batches: Sequence[GridBatch]) -> float:
-        """max/mean point-count ratio (1.0 = perfect balance)."""
-        pts = self.points_per_rank(batches)
-        mean = pts.mean()
-        if mean == 0:
-            raise MappingError("assignment owns no grid points")
-        return float(pts.max() / mean)
+        """max/mean point-count ratio (1.0 = perfect balance).
+
+        Delegates to :func:`repro.utils.balance.max_mean_imbalance`,
+        the repo-wide imbalance definition also used by the modeled
+        timelines and the analysis layer.
+        """
+        try:
+            return max_mean_imbalance(self.points_per_rank(batches))
+        except ValueError:
+            raise MappingError("assignment owns no grid points") from None
 
 
 def _validate(batches: Sequence[GridBatch], n_ranks: int) -> None:

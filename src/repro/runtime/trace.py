@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.utils.balance import max_mean_imbalance
 
 #: Phases that scale with a rank's grid-point share.
 POINT_SCALED_PHASES = ("Sumup", "Rho", "H")
@@ -82,7 +83,11 @@ class CycleTrace:
         return total_busy / (span * self.n_ranks)
 
     def imbalance(self) -> float:
-        """Max/mean busy-time ratio.
+        """Max/mean busy-time ratio (the shared repo-wide definition).
+
+        Delegates to :func:`repro.utils.balance.max_mean_imbalance` so
+        this value is directly comparable with mapping imbalances and
+        the analysis layer's attribution tables.
 
         >>> t = CycleTrace(2, [Interval(0, "H", 0.0, 3.0),
         ...                    Interval(1, "H", 0.0, 1.0)])
@@ -91,13 +96,11 @@ class CycleTrace:
         """
         if self.n_ranks < 1:
             raise ExperimentError("trace needs at least one rank")
-        if not self.intervals:
-            raise ExperimentError("trace has no work")
-        busy = np.array([self.busy_time(r) for r in range(self.n_ranks)])
-        mean = busy.mean()
-        if mean <= 0.0:
-            raise ExperimentError("trace has no work")
-        return float(busy.max() / mean)
+        busy = [self.busy_time(r) for r in range(self.n_ranks)]
+        try:
+            return max_mean_imbalance(busy)
+        except ValueError:
+            raise ExperimentError("trace has no work") from None
 
     def with_fault_events(self, events: Sequence) -> "CycleTrace":
         """Append explicit retry/idle intervals for injected faults.

@@ -25,6 +25,15 @@ AUDITED_MODULES = (
     "repro.obs.report",
     "repro.obs.regress",
     "repro.obs.bench",
+    "repro.obs.analyze",
+    "repro.obs.analyze.timeline",
+    "repro.obs.analyze.imbalance",
+    "repro.obs.analyze.comms",
+    "repro.obs.analyze.diff",
+    "repro.obs.analyze.history",
+    "repro.obs.analyze.scaling",
+    "repro.utils.artifacts",
+    "repro.utils.balance",
     "repro.utils.timing",
     "repro.runtime.trace",
 )
