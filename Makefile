@@ -4,7 +4,7 @@
 PYTHON ?= python
 
 .PHONY: test chaos smoke bench-smoke bench-check docs-check trace analyze \
-	history-check verify
+	history-check service-check verify
 
 # Tier-1: the fast default profile (chaos sweeps deselected via addopts).
 test:
@@ -35,9 +35,9 @@ bench-check:
 # must run, and every audited public object must carry a docstring.
 docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules -q \
-		src/repro/obs src/repro/utils/timing.py src/repro/utils/balance.py \
-		src/repro/utils/artifacts.py src/repro/runtime/trace.py \
-		src/repro/testing/docs.py
+		src/repro/obs src/repro/service src/repro/utils/timing.py \
+		src/repro/utils/balance.py src/repro/utils/artifacts.py \
+		src/repro/runtime/trace.py src/repro/testing/docs.py
 	PYTHONPATH=src $(PYTHON) tools/check_docstrings.py
 
 # Span trace of a real physics run, openable at https://ui.perfetto.dev.
@@ -59,9 +59,25 @@ analyze:
 history-check:
 	PYTHONPATH=src $(PYTHON) -m repro analyze history --path BENCH_history.jsonl
 
+# Simulation-service correctness contract: the statestore + cache-key
+# suites, the default-off worker-crash chaos sweeps, and the end-to-end
+# CLI demo (second identical submit must be a cache hit served from the
+# journal-replayed result store, no recomputation).
+service-check:
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/test_service_statestore.py tests/test_service_keys.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m service tests/test_service_chaos.py
+	rm -rf .service-demo
+	PYTHONPATH=src $(PYTHON) -m repro submit --molecule h2 --level minimal \
+		--store .service-demo/journal.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro submit --molecule h2 --level minimal \
+		--store .service-demo/journal.jsonl | grep -q "cache hit"
+	PYTHONPATH=src $(PYTHON) -m repro status --store .service-demo/journal.jsonl
+	rm -rf .service-demo
+
 # Physics-invariant + golden + differential-conformance check on H2,
-# plus the perf-regression, documentation and history-trend gates (all
-# tier-1 sized).  `python -m repro verify` (no args) covers both
-# reference molecules.
-verify: bench-check docs-check history-check
+# plus the perf-regression, documentation, history-trend and service
+# gates (all tier-1 sized).  `python -m repro verify` (no args) covers
+# both reference molecules.
+verify: bench-check docs-check history-check service-check
 	PYTHONPATH=src $(PYTHON) -m repro verify --molecule h2

@@ -16,6 +16,9 @@ results out):
     python -m repro model --polyethylene 30002 --machine hpc1 --ranks 4096 --baseline
     python -m repro chaos --seed 2023 --machine hpc2 --ranks 8
     python -m repro verify --molecule h2
+    python -m repro submit --molecule h2 --level minimal --store service.jsonl
+    python -m repro serve --store service.jsonl --workers 2
+    python -m repro status --store service.jsonl
     python -m repro info
 
 Artifact-writing commands refuse to overwrite an existing output file
@@ -412,6 +415,102 @@ def _cmd_analyze_history(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _open_store(args: argparse.Namespace) -> "object":
+    from repro.service import StateStore
+
+    return StateStore(
+        args.store,
+        fresh=getattr(args, "fresh", False),
+        force=getattr(args, "force", False),
+        lease_seconds=getattr(args, "lease_seconds", 30.0),
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobRequest, WorkerPool, submit_job
+
+    store = _open_store(args)
+    structure = _load_structure(args)
+    settings = get_settings(args.level, backend=args.backend)
+    request = JobRequest(
+        molecule=structure,
+        settings=settings,
+        charge=args.charge,
+        client=args.client,
+        priority=args.priority,
+        max_retries=args.max_retries,
+    )
+    outcome = submit_job(store, request)
+    key = outcome.task.key
+    if outcome.cache_hit:
+        print(f"{key}: cache hit — served from the result store "
+              "(no recomputation)")
+        _print_service_result(outcome.result)
+        return 0
+    if outcome.deduplicated:
+        print(f"{key}: deduplicated onto live task {outcome.task.task_id} "
+              f"({outcome.task.status})")
+    elif outcome.resubmitted:
+        print(f"{key}: errored task {outcome.task.task_id} resubmitted "
+              "with a fresh retry budget")
+    else:
+        print(f"{key}: submitted as {outcome.task.task_id} "
+              f"(priority {outcome.task.priority}, client {args.client})")
+    if args.no_run:
+        print("queued; run `repro serve` to process it")
+        return 0
+    pool = WorkerPool(store, n_workers=1)
+    pool.run_until_idle()
+    result = store.result_for_key(key)
+    task = store.get(outcome.task.task_id)
+    if result is None:
+        print(f"task {task.task_id} did not complete (status {task.status}"
+              f"{': ' + task.error if task.error else ''})")
+        return 1
+    _print_service_result(result)
+    return 0
+
+
+def _print_service_result(result) -> None:
+    if not result:
+        return
+    print(f"  molecule: {result.get('molecule')}  "
+          f"level={result.get('level')}  backend={result.get('backend')}")
+    energy = result.get("total_energy")
+    alpha = result.get("isotropic_alpha")
+    if energy is not None:
+        print(f"  E = {energy:.6f} Ha  "
+              f"(SCF {result.get('scf_iterations')} iterations)")
+    if alpha is not None:
+        print(f"  isotropic alpha: {alpha:.4f} a.u.")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.faults import FaultPlan, FaultRates
+    from repro.service import WorkerPool
+
+    store = _open_store(args)
+    plan = None
+    if args.crash_rate > 0.0:
+        plan = FaultPlan(
+            seed=args.seed, rates=FaultRates(worker_crash=args.crash_rate)
+        )
+        print(f"serving with injected worker crashes "
+              f"(rate={args.crash_rate}, seed={args.seed})")
+    pool = WorkerPool(store, n_workers=args.workers, fault_plan=plan)
+    report = pool.run_until_idle(max_steps=args.max_steps)
+    print(report.summary())
+    print()
+    print(store.render_status())
+    return 0 if report.idle else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    print(store.render_status())
+    return 0
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     for machine in (HPC1_SUNWAY, HPC2_AMD):
         acc = machine.accelerator
@@ -640,6 +739,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--skip-conformance", action="store_true",
                           help="invariants and goldens only")
     p_verify.set_defaults(func=_cmd_verify)
+
+    def add_store_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default="service.jsonl",
+            metavar="PATH",
+            help="statestore journal (default: ./service.jsonl); an "
+            "existing journal is resumed",
+        )
+        p.add_argument(
+            "--fresh",
+            action="store_true",
+            help="start a new journal instead of resuming (refuses to "
+            "overwrite an existing one without --force)",
+        )
+        p.add_argument(
+            "--force",
+            action="store_true",
+            help="allow --fresh to replace an existing journal",
+        )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one simulation job to the service statestore "
+        "(content-addressed: repeated submissions are cache hits)",
+    )
+    add_common(p_submit, physics=True)
+    p_submit.add_argument("--molecule", choices=["h2", "water"],
+                          help="built-in molecule instead of a geometry.in path")
+    p_submit.add_argument("--charge", type=int, default=0)
+    p_submit.add_argument(
+        "--backend", default="numpy", choices=available_backends(),
+        help="execution backend the worker runs the job under",
+    )
+    p_submit.add_argument("--client", default="cli",
+                          help="client identity for quota accounting")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="claim priority (higher first; default 0)")
+    p_submit.add_argument("--max-retries", type=int, default=3,
+                          help="retry budget before terminal errored state")
+    p_submit.add_argument("--no-run", action="store_true",
+                          help="only enqueue; do not drain with an inline worker")
+    add_store_opts(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="drain the statestore with a worker pool (optionally under "
+        "injected worker crashes)",
+    )
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="pool size (default: 2)")
+    p_serve.add_argument("--max-steps", type=int, default=10_000,
+                         help="scheduling-step budget before giving up")
+    p_serve.add_argument("--crash-rate", type=float, default=0.0,
+                         help="per-claim worker-crash probability (chaos mode)")
+    p_serve.add_argument("--seed", type=int, default=2023,
+                         help="fault-plan seed for --crash-rate")
+    p_serve.add_argument("--lease-seconds", type=float, default=30.0,
+                         help="claim lease before a silent worker's task "
+                         "is requeued")
+    add_store_opts(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_status = sub.add_parser(
+        "status", help="show the statestore queue and result cache"
+    )
+    add_store_opts(p_status)
+    p_status.set_defaults(func=_cmd_status)
 
     p_info = sub.add_parser("info", help="show the machine presets")
     p_info.set_defaults(func=_cmd_info)

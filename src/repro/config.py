@@ -7,8 +7,8 @@ so that examples, tests and benchmarks share one definition of "light".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,37 @@ class RunSettings:
     def with_cpscf(self, **kwargs) -> "RunSettings":
         """Return a copy with modified CPSCF settings."""
         return replace(self, cpscf=replace(self.cpscf, **kwargs))
+
+    def as_canonical_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot with a *canonical* (sorted) key order.
+
+        Two :class:`RunSettings` built from the same field values — in
+        any keyword order — produce identical dicts, which is what the
+        service layer's content-addressed cache keys hash (see
+        :func:`repro.service.jobs.cache_key`).
+        """
+        def _sorted(d: Dict[str, Any]) -> Dict[str, Any]:
+            return {
+                k: _sorted(v) if isinstance(v, dict) else v
+                for k, v in sorted(d.items())
+            }
+
+        return _sorted(asdict(self))
+
+    @classmethod
+    def from_canonical_dict(cls, data: Mapping[str, Any]) -> "RunSettings":
+        """Rebuild settings from :meth:`as_canonical_dict` output.
+
+        The round trip is exact: ``RunSettings.from_canonical_dict(
+        s.as_canonical_dict()) == s`` for every ``s``.
+        """
+        d = dict(data)
+        return cls(
+            grids=GridSettings(**d.pop("grids")),
+            scf=SCFSettings(**d.pop("scf")),
+            cpscf=CPSCFSettings(**d.pop("cpscf")),
+            **d,
+        )
 
 
 _PRESETS: Dict[str, RunSettings] = {

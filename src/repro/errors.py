@@ -91,6 +91,26 @@ class ExperimentError(ReproError):
     """An experiment/benchmark harness was configured inconsistently."""
 
 
+class ServiceError(ReproError):
+    """Simulation-service failure (statestore, job API or worker pool)."""
+
+
+class TaskTransitionError(ServiceError):
+    """An illegal task-lifecycle transition was requested (unknown task,
+    wrong claiming worker, or a state the operation is not valid in)."""
+
+
+class QuotaExceededError(ServiceError):
+    """A client submission would exceed its active-task quota."""
+
+    def __init__(self, message: str, *, client: str = "", active: int = 0,
+                 quota: int = 0):
+        super().__init__(message)
+        self.client = client
+        self.active = active
+        self.quota = quota
+
+
 class ArtifactError(ReproError):
     """An output artifact cannot be written safely (e.g. it already
     exists and overwriting was not explicitly requested)."""

@@ -8,7 +8,11 @@ Four pieces, one taxonomy:
   the simulated collectives and the fault injectors;
 * **metrics** (:mod:`repro.obs.metrics`) — deterministic counters,
   gauges and histograms (bytes reduced, cache hits, blocks evaluated,
-  retries);
+  retries; the service layer adds ``service.tasks_claimed`` /
+  ``service.tasks_completed`` / ``service.tasks_failed`` /
+  ``service.worker_crashes`` around its worker pool, and each task
+  executes under a ``service``-category span carrying worker / task /
+  cache-key / attempt attributes);
 * **artifacts** (:mod:`repro.obs.export`, :mod:`repro.obs.report`) —
   a Perfetto-loadable Chrome trace-event file and the single
   :class:`RunReport` JSON/ASCII document that absorbs the legacy

@@ -31,6 +31,8 @@ Fault kinds (``FaultEvent.kind``):
                           hierarchical scheme degrades to a flat collective
 ``cycle_fault``           a whole SCF/CPSCF cycle is lost; the driver
                           restores the previous cycle's checkpoint
+``worker_crash``          a service compute worker dies after claiming a
+                          task; the statestore's lease expiry requeues it
 ========================  ====================================================
 """
 
@@ -53,8 +55,9 @@ COLLECTIVE_KINDS = (
     "straggler",
 )
 
-#: Every kind a plan may carry (collective + shm + driver-cycle faults).
-ALL_KINDS = COLLECTIVE_KINDS + ("shm_corruption", "cycle_fault")
+#: Every kind a plan may carry (collective + shm + driver-cycle +
+#: service-worker faults).
+ALL_KINDS = COLLECTIVE_KINDS + ("shm_corruption", "cycle_fault", "worker_crash")
 
 
 @dataclass(frozen=True)
@@ -119,13 +122,15 @@ class FaultRates:
     collective_error: float = 0.0
     shm_corruption: float = 0.0
     cycle_fault: float = 0.0
+    worker_crash: float = 0.0
     #: Modeled seconds one straggler keeps the collective waiting.
     straggler_delay: float = 5.0e-4
 
     def __post_init__(self) -> None:
         ladder = self._ladder()
         for kind, rate in ladder + [("cycle_fault", self.cycle_fault),
-                                    ("shm_corruption", self.shm_corruption)]:
+                                    ("shm_corruption", self.shm_corruption),
+                                    ("worker_crash", self.worker_crash)]:
             if not 0.0 <= rate <= 1.0:
                 raise FaultInjectionError(
                     f"{kind} rate must be in [0, 1], got {rate}"
@@ -261,6 +266,29 @@ class FaultPlan:
         rng = self._rng(site, attempt)
         if float(rng.random()) < self.rates.shm_corruption:
             return FaultEvent(kind="shm_corruption", site=site, detail="random")
+        return None
+
+    def worker_fault(
+        self, site: str, call_index: int, attempt: int = 0
+    ) -> Optional[FaultEvent]:
+        """Decide whether one service worker crashes on one claimed task.
+
+        ``site`` is the worker's identity (e.g. ``"worker:w0"``),
+        ``call_index`` counts the tasks that worker has claimed and
+        ``attempt`` is the task's retry attempt (``task.attempts - 1``),
+        so a rescheduled task draws a fresh decision — the property the
+        service chaos suite's convergence assertions rely on.
+        """
+        full_site = f"{site}[{call_index}]"
+        sf = self._scheduled(("worker_crash",), full_site, call_index, attempt)
+        if sf is not None:
+            return FaultEvent(
+                kind="worker_crash", site=full_site,
+                detail="scheduled" + (" persistent" if sf.persistent else ""),
+            )
+        rng = self._rng(full_site, attempt)
+        if float(rng.random()) < self.rates.worker_crash:
+            return FaultEvent(kind="worker_crash", site=full_site, detail="random")
         return None
 
     def cycle_fault(self, site: str, cycle: int, attempt: int) -> Optional[FaultEvent]:

@@ -139,6 +139,111 @@ class ChaosReport:
         return "\n".join(lines)
 
 
+@dataclass
+class ServiceChaosReport:
+    """Crash/retry verdict for one seeded service chaos scenario.
+
+    ``payload_bytes`` / ``reference_bytes`` map each cache key to the
+    provenance-stable serialized result (``timings`` stripped) of the
+    faulted and fault-free runs; ``bit_exact`` is the acceptance
+    criterion — injected worker crashes changed no result bytes.
+    """
+
+    seed: int
+    n_workers: int
+    crashes: int
+    completed: int
+    errored: int
+    attempts: Dict[str, int]
+    payload_bytes: Dict[str, bytes]
+    reference_bytes: Dict[str, bytes]
+
+    @property
+    def bit_exact(self) -> bool:
+        return (
+            set(self.payload_bytes) == set(self.reference_bytes)
+            and all(
+                self.payload_bytes[k] == self.reference_bytes[k]
+                for k in self.reference_bytes
+            )
+        )
+
+    def summary(self) -> str:
+        return (
+            f"service chaos  seed={self.seed}  {self.n_workers} workers: "
+            f"{self.completed} completed, {self.errored} errored, "
+            f"{self.crashes} injected crash(es); results bit-exact vs "
+            f"fault-free: {'YES' if self.bit_exact else 'NO'}"
+        )
+
+
+def run_service_chaos(
+    requests=None,
+    seed: int = 2023,
+    n_workers: int = 2,
+    rates: Optional[FaultRates] = None,
+    schedule: Optional[Sequence[ScheduledFault]] = None,
+    runner=None,
+    store_path=None,
+    lease_seconds: float = 2.0,
+    max_steps: int = 10_000,
+):
+    """Service-layer chaos: seeded worker crashes vs a fault-free run.
+
+    Submits the same ``requests`` (default: one minimal-level H2 job)
+    to two statestores, drains one pool fault-free and one under a
+    :class:`~repro.runtime.faults.FaultPlan` whose ``worker_crash``
+    rate/schedule kills workers after claiming, and compares the
+    provenance-stable result bytes key by key.  Deterministic in
+    ``seed``; ``runner`` lets tests substitute a cheap stub for the
+    real physics runner.
+    """
+    from repro.config import get_settings
+    from repro.service import (
+        StateStore,
+        WorkerPool,
+        JobRequest,
+        stable_result_bytes,
+        submit_batch,
+    )
+    from repro.service.statestore import COMPLETE, ERRORED
+
+    if requests is None:
+        requests = [JobRequest("h2", get_settings("minimal"))]
+    if rates is None:
+        rates = FaultRates(worker_crash=0.3)
+    if schedule is None:
+        schedule = [ScheduledFault("worker_crash", call_index=0, site="worker:w0")]
+
+    def _drain(store: StateStore, plan: Optional[FaultPlan]):
+        submit_batch(store, requests, commit=f"chaos-{seed}", now=0.0)
+        pool = WorkerPool(
+            store, n_workers=n_workers, runner=runner, fault_plan=plan
+        )
+        report = pool.run_until_idle(max_steps=max_steps)
+        payloads = {
+            t.key: stable_result_bytes(store.result_for_key(t.key))
+            for t in store.tasks(COMPLETE)
+        }
+        return report, payloads
+
+    _, reference = _drain(StateStore(lease_seconds=lease_seconds), None)
+    plan = FaultPlan(seed=seed, rates=rates, schedule=schedule)
+    faulted_store = StateStore(store_path, lease_seconds=lease_seconds)
+    pool_report, payloads = _drain(faulted_store, plan)
+
+    return ServiceChaosReport(
+        seed=seed,
+        n_workers=n_workers,
+        crashes=pool_report.crashes,
+        completed=pool_report.completed,
+        errored=len(faulted_store.tasks(ERRORED)),
+        attempts={t.task_id: t.attempts for t in faulted_store.tasks()},
+        payload_bytes=payloads,
+        reference_bytes=reference,
+    )
+
+
 def _polarizability(solver: DFPTSolver, dipoles: np.ndarray) -> tuple:
     alpha = np.empty((3, 3))
     restarts = 0

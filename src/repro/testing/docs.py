@@ -32,6 +32,10 @@ AUDITED_MODULES = (
     "repro.obs.analyze.diff",
     "repro.obs.analyze.history",
     "repro.obs.analyze.scaling",
+    "repro.service",
+    "repro.service.statestore",
+    "repro.service.jobs",
+    "repro.service.worker",
     "repro.utils.artifacts",
     "repro.utils.balance",
     "repro.utils.timing",

@@ -1,0 +1,209 @@
+"""Service chaos integration: seeded worker crashes vs fault-free runs.
+
+Reuses the fault layer (:mod:`repro.runtime.faults`, ``worker_crash``
+kind) and the chaos harness (:func:`repro.testing.chaos.run_service_chaos`)
+to prove the acceptance criterion: a worker crash mid-task is recovered
+by lease expiry + bounded retry, and the recomputed result converges to
+the **same provenance-stable bytes** as a run that never faulted.
+
+Marked ``service`` (default-off, mirroring the ``chaos`` marker); run
+with ``pytest -m service`` or ``make service-check``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import get_settings
+from repro.runtime.faults import FaultPlan, FaultRates, ScheduledFault
+from repro.service import (
+    COMPLETE,
+    ERRORED,
+    JobRequest,
+    StateStore,
+    WorkerPool,
+    stable_result_bytes,
+    submit_batch,
+)
+from repro.testing.chaos import run_service_chaos
+
+pytestmark = pytest.mark.service
+
+
+def stub_runner(task):
+    """Deterministic, payload-addressed stand-in for the physics runner.
+
+    Carries a volatile ``timings`` subtree (different every call) to
+    prove byte-stability comes from quarantining, not from luck.
+    """
+    import time
+
+    return {
+        "task": {"key": task.key},
+        "value": sum(ord(c) for c in task.key),
+        "timings": {"wall": time.time()},
+    }
+
+
+def jobs(n=3, **kwargs):
+    s = get_settings("minimal")
+    return [
+        JobRequest("h2", s.with_scf(max_iterations=20 + i), **kwargs)
+        for i in range(n)
+    ]
+
+
+class TestScheduledCrashRecovery:
+    def test_crash_mid_task_requeues_and_converges(self):
+        report = run_service_chaos(
+            requests=jobs(3),
+            seed=11,
+            rates=FaultRates(),  # schedule-only: exactly one crash
+            schedule=[ScheduledFault("worker_crash", call_index=0,
+                                     site="worker:w0")],
+            runner=stub_runner,
+        )
+        assert report.crashes == 1
+        assert report.completed == 3
+        assert report.errored == 0
+        # the crashed task took a second attempt
+        assert max(report.attempts.values()) == 2
+        assert report.bit_exact, report.summary()
+
+    def test_crashes_on_both_workers_still_converge(self):
+        report = run_service_chaos(
+            requests=jobs(4),
+            seed=12,
+            rates=FaultRates(),
+            schedule=[
+                ScheduledFault("worker_crash", call_index=0, site="worker:w0"),
+                ScheduledFault("worker_crash", call_index=0, site="worker:w1"),
+            ],
+            runner=stub_runner,
+        )
+        assert report.crashes == 2
+        assert report.completed == 4
+        assert report.bit_exact
+
+    def test_persistent_crash_exhausts_to_errored(self):
+        """An unsurvivable worker bug drains the retry budget terminally."""
+        store = StateStore(lease_seconds=2.0)
+        submit_batch(store, jobs(1, max_retries=1), commit="x", now=0.0)
+        plan = FaultPlan(
+            seed=5,
+            schedule=[
+                ScheduledFault("worker_crash", call_index=i,
+                               site="worker:w0", persistent=True)
+                for i in range(4)
+            ],
+        )
+        pool = WorkerPool(store, n_workers=1, runner=stub_runner,
+                          fault_plan=plan, start_time=0.0)
+        report = pool.run_until_idle()
+        assert report.idle
+        assert report.crashes == 2  # first try + single retry
+        (task,) = store.tasks(ERRORED)
+        assert task.attempts == 2
+        assert "lease expired" in task.error
+
+
+class TestFlakyRunnerRecovery:
+    def test_runner_exception_requeues_and_retries_to_success(self):
+        """A raising runner is the *cooperative* failure path (``fail``
+        with backoff), distinct from a crash (silence + lease expiry);
+        the pool retries it to the same answer."""
+        store = StateStore(lease_seconds=2.0)
+        submit_batch(store, jobs(1, max_retries=3), commit="x", now=0.0)
+        calls = {"n": 0}
+
+        def flaky(task):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient kernel error")
+            return stub_runner(task)
+
+        pool = WorkerPool(store, n_workers=1, runner=flaky, start_time=0.0)
+        report = pool.run_until_idle()
+        assert report.failed == 1 and report.completed == 1
+        (task,) = store.tasks(COMPLETE)
+        assert task.attempts == 2
+        assert store.result_for_key(task.key)["value"] == \
+            sum(ord(c) for c in task.key)
+
+
+class TestRandomizedCrashSweep:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_crash_rates_converge_bit_exact(self, seed):
+        report = run_service_chaos(
+            requests=jobs(4, max_retries=6),
+            seed=seed,
+            rates=FaultRates(worker_crash=0.4),
+            schedule=[],
+            runner=stub_runner,
+        )
+        assert report.errored == 0
+        assert report.completed == 4
+        assert report.bit_exact, report.summary()
+
+    def test_same_seed_same_fault_decisions(self):
+        kwargs = dict(
+            requests=jobs(3, max_retries=6),
+            rates=FaultRates(worker_crash=0.5),
+            schedule=[],
+            runner=stub_runner,
+        )
+        a = run_service_chaos(seed=77, **kwargs)
+        b = run_service_chaos(seed=77, **kwargs)
+        assert a.crashes == b.crashes
+        assert a.attempts == b.attempts
+        assert a.payload_bytes == b.payload_bytes
+
+
+class TestJournaledChaos:
+    def test_chaos_with_journal_replays_consistently(self, tmp_path):
+        path = tmp_path / "chaos-journal.jsonl"
+        report = run_service_chaos(
+            requests=jobs(2),
+            seed=11,
+            rates=FaultRates(),
+            schedule=[ScheduledFault("worker_crash", call_index=0,
+                                     site="worker:w0")],
+            runner=stub_runner,
+            store_path=path,
+        )
+        assert report.bit_exact
+        replayed = StateStore(path)
+        assert len(replayed.tasks(COMPLETE)) == 2
+        for task in replayed.tasks(COMPLETE):
+            assert (
+                stable_result_bytes(replayed.result_for_key(task.key))
+                == report.reference_bytes[task.key]
+            )
+
+
+class TestPhysicsPayloadStability:
+    def test_real_run_report_payload_is_provenance_stable(self):
+        """The acceptance criterion, end to end on real physics: a
+        seeded crash forces a full SCF+CPSCF recomputation whose
+        RunReport payload is byte-identical to the fault-free run."""
+        report = run_service_chaos(
+            requests=[JobRequest("h2", get_settings("minimal"))],
+            seed=2023,
+            rates=FaultRates(),
+            schedule=[ScheduledFault("worker_crash", call_index=0,
+                                     site="worker:w0")],
+            runner=None,  # the real physics runner
+            n_workers=1,
+        )
+        assert report.crashes == 1
+        assert report.completed == 1
+        assert report.bit_exact, report.summary()
+        (payload,) = report.payload_bytes.values()
+        doc = json.loads(payload)
+        # provenance-linked, physics-bearing, timings quarantined away
+        assert doc["provenance"]["settings_hash"]
+        assert doc["molecule"] == "H2"
+        assert "timings" not in doc
+        assert len(doc["polarizability"]) == 3
