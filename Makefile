@@ -19,16 +19,21 @@ smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_faults.py
 
 # Quick execution-backend comparison (numpy vs batched vs device) on an
-# over-cache-limit system; writes BENCH_backends.json at the repo root.
+# over-cache-limit system, plus the dense-vs-screened block-sparse
+# payoff on a polyethylene chain; writes BENCH_backends.json and
+# BENCH_sparse.json at the repo root.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sparse.py --quick
 
-# Perf-regression gate: re-run the backend benchmark at the committed
+# Perf-regression gate: re-run each benchmark at its committed
 # baseline's own parameters and compare metric-by-metric (exact bands
 # for deterministic counters, one-sided bands for wall times/speedups).
 # Every run appends one provenance-stamped entry to BENCH_history.jsonl.
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_backends.json \
+		--history BENCH_history.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_sparse.json \
 		--history BENCH_history.jsonl
 
 # Documentation gate: every doctest in the observability-facing modules
@@ -37,7 +42,8 @@ docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules -q \
 		src/repro/obs src/repro/service src/repro/utils/timing.py \
 		src/repro/utils/balance.py src/repro/utils/artifacts.py \
-		src/repro/runtime/trace.py src/repro/testing/docs.py
+		src/repro/runtime/trace.py src/repro/testing/docs.py \
+		src/repro/grids/sparsity.py
 	PYTHONPATH=src $(PYTHON) tools/check_docstrings.py
 
 # Span trace of a real physics run, openable at https://ui.perfetto.dev.

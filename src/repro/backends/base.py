@@ -34,6 +34,7 @@ from repro.obs.tracer import obs_counter, obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dft.hamiltonian import MatrixBuilder
+    from repro.grids.sparsity import SparsityPattern
 
 
 # ----------------------------------------------------------------------
@@ -106,9 +107,28 @@ class BackendProfile:
     device_launches: int = 0
     device_modeled_seconds: float = 0.0
     device_bytes_transferred: int = 0
+    # Screening counters (all zero on dense runs): (batch, atom) basis
+    # blocks touched vs skipped by the pattern, compact vs dense element
+    # counts, and the pattern-level fill summary set at bind time.
+    screen_blocks_evaluated: int = 0
+    screen_blocks_skipped: int = 0
+    screen_elements_active: int = 0
+    screen_elements_dense: int = 0
+    screen_fill_fraction: float = 0.0
+    screen_histogram: Tuple[int, ...] = ()
 
     def record(self, phase: str, elements: int, seconds: float) -> None:
         self.phases.setdefault(phase, PhaseStats()).record(elements, seconds)
+
+    def record_screening(
+        self, blocks_active: int, blocks_dense: int, elements_active: int,
+        elements_dense: int,
+    ) -> None:
+        """Charge one batch's screened contraction to the profile."""
+        self.screen_blocks_evaluated += int(blocks_active)
+        self.screen_blocks_skipped += int(blocks_dense - blocks_active)
+        self.screen_elements_active += int(elements_active)
+        self.screen_elements_dense += int(elements_dense)
 
     def total_seconds(self) -> float:
         return sum(s.seconds for s in self.phases.values())
@@ -136,6 +156,14 @@ class BackendProfile:
                 "launches": self.device_launches,
                 "modeled_seconds": self.device_modeled_seconds,
                 "bytes_transferred": self.device_bytes_transferred,
+            },
+            "sparsity": {
+                "blocks_evaluated": self.screen_blocks_evaluated,
+                "blocks_skipped": self.screen_blocks_skipped,
+                "elements_active": self.screen_elements_active,
+                "elements_dense": self.screen_elements_dense,
+                "fill_fraction": self.screen_fill_fraction,
+                "histogram": list(self.screen_histogram),
             },
         }
 
@@ -176,6 +204,10 @@ class ExecutionBackend:
             )
         self.builder = builder
         self._on_bind()
+        if builder.pattern is not None:
+            stats = builder.pattern.stats
+            self.profile.screen_fill_fraction = stats.fill_fraction
+            self.profile.screen_histogram = stats.histogram
         return self
 
     def _on_bind(self) -> None:
@@ -187,6 +219,15 @@ class ExecutionBackend:
                 f"backend {self.name!r} is not bound; call bind(builder) first"
             )
         return self.builder
+
+    def _require_pattern(self) -> "SparsityPattern":
+        pattern = self._require_bound().pattern
+        if pattern is None:
+            raise BackendError(
+                f"backend {self.name!r} has no screening pattern; "
+                "basis_block_active() needs screening_threshold > 0"
+            )
+        return pattern
 
     # ------------------------------------------------------------------
     # Validation shared by all backends
@@ -214,11 +255,45 @@ class ExecutionBackend:
         """chi_mu table of one batch, ``(batch.n_points, n_basis)``."""
         raise NotImplementedError
 
+    def basis_block_active(self, batch: GridBatch) -> np.ndarray:
+        """Compact chi table of one batch, ``(batch.n_points, n_active)``.
+
+        Columns are the pattern's active functions for this batch, in
+        ascending index order.  Per-shell evaluation is independent of
+        which other atoms are requested, so this compact block is a
+        *bitwise* column slice of the dense :meth:`basis_block` — the
+        parity anchor that keeps all screened backends identical.  The
+        default slices the dense block; subclasses override where a
+        cheaper compact source exists (cached table slice, compact LRU
+        entries).
+        """
+        pattern = self._require_pattern()
+        return self.basis_block(batch)[:, pattern.active_functions[batch.index]]
+
+    def _phase_elements(self) -> int:
+        """Grid-point x function elements one Sumup/H pass contracts."""
+        builder = self._require_bound()
+        if builder.pattern is not None:
+            return builder.pattern.stats.elements_active
+        return builder.grid.n_points * builder.basis.n_basis
+
+    def _record_screened_batch(self, batch: GridBatch) -> None:
+        """Charge one screened batch's block accounting to the profile."""
+        pattern = self._require_pattern()
+        builder = self._require_bound()
+        n_active = pattern.n_active(batch.index)
+        self.profile.record_screening(
+            blocks_active=len(pattern.active_atoms[batch.index]),
+            blocks_dense=builder.basis.structure.n_atoms,
+            elements_active=batch.n_points * n_active,
+            elements_dense=batch.n_points * builder.basis.n_basis,
+        )
+
     def density_on_grid(self, density_matrix: np.ndarray) -> np.ndarray:
         """Pointwise density for one density matrix (Sumup phase)."""
         builder = self._require_bound()
         p = self._check_density_matrix(density_matrix)
-        elements = builder.grid.n_points * builder.basis.n_basis
+        elements = self._phase_elements()
         start = time.perf_counter()
         with obs_span("Sumup", category="backend", backend=self.name):
             out = self._density_impl(p)
@@ -231,7 +306,7 @@ class ExecutionBackend:
         """``<chi_mu | v | chi_nu>`` for a pointwise potential (H phase)."""
         builder = self._require_bound()
         v = self._check_potential(potential_values)
-        elements = builder.grid.n_points * builder.basis.n_basis
+        elements = self._phase_elements()
         start = time.perf_counter()
         with obs_span("H", category="backend", backend=self.name):
             out = self._potential_impl(v)
@@ -249,10 +324,17 @@ class ExecutionBackend:
         f_occ: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(U, C^(1), P^(1))`` from a response Hamiltonian (DM phase)."""
+        builder = self._require_bound()
         start = time.perf_counter()
         with obs_span("DM", category="backend", backend=self.name):
             out = self._dm_impl(h1, inv_gaps, c_occ, c_virt, f_occ)
-        elements = int(np.asarray(h1).size)
+        # The Sternheimer rotation itself stays dense (orbital space),
+        # but under screening the response Hamiltonian only carries the
+        # pattern's atom-pair blocks — charge just those elements.
+        if builder.pattern is not None:
+            elements = builder.pattern.matrix_nnz
+        else:
+            elements = int(np.asarray(h1).size)
         self.profile.record("DM", elements, time.perf_counter() - start)
         obs_counter("backend.DM.calls")
         obs_counter("backend.DM.elements", elements)
@@ -263,20 +345,73 @@ class ExecutionBackend:
     # ------------------------------------------------------------------
     def _density_impl(self, p: np.ndarray) -> np.ndarray:
         builder = self._require_bound()
+        if builder.pattern is not None:
+            return self._density_impl_screened(p)
         out = np.zeros(builder.grid.n_points)
         for b in builder.batches:
             out[b.point_indices] = density_block(self.basis_block(b), p)
+        return out
+
+    def _density_impl_screened(self, p: np.ndarray) -> np.ndarray:
+        """Block-sparse Sumup: contract only each batch's active set.
+
+        Gathers the compact chi block and the matching ``P`` sub-block,
+        runs the *same* :func:`density_block` kernel, and scatters into
+        the batch's grid points — identical batch order and identical
+        compact math across every backend, so screened engines stay
+        bit-exact with each other.
+        """
+        builder = self._require_bound()
+        pattern = builder.pattern
+        out = np.zeros(builder.grid.n_points)
+        for b in builder.batches:
+            self._record_screened_batch(b)
+            act = pattern.active_functions[b.index]
+            if act.size == 0:
+                continue
+            phi = self.basis_block_active(b)
+            out[b.point_indices] = density_block(phi, p[np.ix_(act, act)])
+        obs_counter("backend.screen.blocks_evaluated",
+                    self.profile.screen_blocks_evaluated)
         return out
 
     def _potential_impl(self, v: np.ndarray) -> np.ndarray:
         from repro.utils.linalg import symmetrize
 
         builder = self._require_bound()
+        if builder.pattern is not None:
+            return self._potential_impl_screened(v)
         wv = builder.grid.weights * v
         nb = builder.basis.n_basis
         acc = np.zeros((nb, nb))
         for b in builder.batches:
             acc += potential_block(self.basis_block(b), wv[b.point_indices])
+        return symmetrize(acc)
+
+    def _potential_impl_screened(self, v: np.ndarray) -> np.ndarray:
+        """Block-sparse H integration: scatter-add into active blocks.
+
+        Each batch contributes only its ``(n_active, n_active)`` block,
+        scatter-added into the dense accumulator at the active indices;
+        matrix entries outside the pattern's atom-pair block mask stay
+        exactly zero.
+        """
+        from repro.utils.linalg import symmetrize
+
+        builder = self._require_bound()
+        pattern = builder.pattern
+        wv = builder.grid.weights * v
+        nb = builder.basis.n_basis
+        acc = np.zeros((nb, nb))
+        for b in builder.batches:
+            self._record_screened_batch(b)
+            act = pattern.active_functions[b.index]
+            if act.size == 0:
+                continue
+            phi = self.basis_block_active(b)
+            acc[np.ix_(act, act)] += potential_block(phi, wv[b.point_indices])
+        obs_counter("backend.screen.blocks_evaluated",
+                    self.profile.screen_blocks_evaluated)
         return symmetrize(acc)
 
     def _dm_impl(
@@ -290,22 +425,35 @@ class ExecutionBackend:
         return first_order_dm_dense(h1, inv_gaps, c_occ, c_virt, f_occ)
 
     # ------------------------------------------------------------------
-    def _evaluate_block(self, batch: GridBatch) -> np.ndarray:
-        """Evaluate one batch's basis block for real (profiled)."""
+    def _evaluate_block(
+        self, batch: GridBatch, active: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Evaluate one batch's basis block for real (profiled).
+
+        With *active* (the pattern's sorted index array for this batch),
+        only the active atoms are evaluated and the compact column block
+        is returned.  Per-shell evaluation does not depend on which
+        other atoms are requested, so the compact block is bitwise equal
+        to slicing those columns out of a full evaluation.
+        """
         builder = self._require_bound()
         start = time.perf_counter()
-        phi_b = builder.basis.evaluate(
-            builder.grid.points[batch.point_indices], atoms=batch.relevant_atoms
-        )
-        self.profile.record(
-            "basis",
-            batch.n_points * builder.basis.n_basis,
-            time.perf_counter() - start,
-        )
+        if active is None:
+            phi_b = builder.basis.evaluate(
+                builder.grid.points[batch.point_indices],
+                atoms=batch.relevant_atoms,
+            )
+            elements = batch.n_points * builder.basis.n_basis
+        else:
+            pattern = self._require_pattern()
+            phi_b = builder.basis.evaluate(
+                builder.grid.points[batch.point_indices],
+                atoms=pattern.active_atoms[batch.index],
+            )[:, active]
+            elements = batch.n_points * int(active.size)
+        self.profile.record("basis", elements, time.perf_counter() - start)
         obs_counter("backend.basis.blocks_evaluated")
-        obs_counter(
-            "backend.basis.elements", batch.n_points * builder.basis.n_basis
-        )
+        obs_counter("backend.basis.elements", elements)
         return phi_b
 
     def __repr__(self) -> str:

@@ -12,7 +12,7 @@ SCF/CPSCF cycles.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -26,21 +26,28 @@ from repro.grids.batching import GridBatch
 DEFAULT_CACHE_BYTES: int = 64 << 20
 
 
+#: Dense blocks key on the batch index; screened compact blocks key on
+#: ``(batch index, active-set hash)`` so a pattern change can never
+#: serve a stale compact block.
+CacheKey = Union[int, Tuple[int, str]]
+
+
 class BlockCache:
     """Byte-bounded LRU cache of per-batch basis blocks.
 
-    Keys are batch indices; values are ``(batch_points, n_basis)``
-    arrays.  Eviction is strict LRU, except that the most recently
-    inserted block always survives (a single block larger than the
-    budget must still be usable — it is simply evicted by the next
-    insertion).
+    Keys are :data:`CacheKey` values — plain batch indices for dense
+    ``(batch_points, n_basis)`` blocks, ``(batch, active-set hash)``
+    tuples for compact screened blocks.  Eviction is strict LRU, except
+    that the most recently inserted block always survives (a single
+    block larger than the budget must still be usable — it is simply
+    evicted by the next insertion).
     """
 
     def __init__(self, max_bytes: int) -> None:
         if max_bytes < 0:
             raise BackendError(f"cache budget must be >= 0, got {max_bytes}")
         self.max_bytes = int(max_bytes)
-        self._blocks: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._blocks: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
         self.current_bytes = 0
         self.peak_bytes = 0
         self.hits = 0
@@ -50,10 +57,10 @@ class BlockCache:
     def __len__(self) -> int:
         return len(self._blocks)
 
-    def __contains__(self, key: int) -> bool:
+    def __contains__(self, key: CacheKey) -> bool:
         return key in self._blocks
 
-    def get(self, key: int) -> Optional[np.ndarray]:
+    def get(self, key: CacheKey) -> Optional[np.ndarray]:
         """The cached block, refreshed to most-recently-used; else None."""
         block = self._blocks.get(key)
         if block is None:
@@ -63,7 +70,7 @@ class BlockCache:
         self.hits += 1
         return block
 
-    def put(self, key: int, block: np.ndarray) -> None:
+    def put(self, key: CacheKey, block: np.ndarray) -> None:
         """Insert a block, evicting least-recently-used ones over budget."""
         if key in self._blocks:
             self.current_bytes -= int(self._blocks.pop(key).nbytes)
@@ -97,6 +104,26 @@ class BatchedBackend(ExecutionBackend):
             obs_counter("backend.cache.misses")
             block = self._evaluate_block(batch)
             self.cache.put(batch.index, block)
+        else:
+            obs_counter("backend.cache.hits")
+        self._sync_cache_stats()
+        return block
+
+    def basis_block_active(self, batch: GridBatch) -> np.ndarray:
+        from repro.obs.tracer import obs_counter
+
+        pattern = self._require_pattern()
+        # The active-set hash in the key makes compact entries
+        # self-invalidating: a different pattern (tighter threshold,
+        # new structure) can never alias a stale compact block.
+        key = (batch.index, pattern.active_hash(batch.index))
+        block = self.cache.get(key)
+        if block is None:
+            obs_counter("backend.cache.misses")
+            block = self._evaluate_block(
+                batch, active=pattern.active_functions[batch.index]
+            )
+            self.cache.put(key, block)
         else:
             obs_counter("backend.cache.hits")
         self._sync_cache_stats()

@@ -59,19 +59,49 @@ class DeviceBackend(ExecutionBackend):
         self.device.to_device(self._weights)
         self._record_transfers()
 
-    def _ndrange(self) -> NDRange:
+    def _ndrange(self, n_groups: Optional[int] = None) -> NDRange:
         """One work-group per batch, items sized by the largest batch.
 
         Sizing by the *mean* batch (the old ``_ndrange`` bug) starves
         work-items whenever batches are uneven; the max guarantees every
-        point of every batch maps to an item.
+        point of every batch maps to an item.  Screened launches pass
+        *n_groups* to schedule only the batches with a non-empty active
+        set — the model prices only launched blocks.
         """
         builder = self._require_bound()
         items = max(1, max(b.n_points for b in builder.batches))
-        return NDRange(n_groups=len(builder.batches), items_per_group=items)
+        if n_groups is None:
+            n_groups = len(builder.batches)
+        return NDRange(n_groups=max(n_groups, 1), items_per_group=items)
 
-    def _launch(self, kernel: Kernel, buffers: Dict[str, DeviceBuffer]) -> None:
-        report = self.device.launch(kernel, self._ndrange(), buffers)
+    def _screen_pricing(self) -> Tuple[float, float, int]:
+        """Point-weighted active-set sizes for screened kernel pricing.
+
+        Returns ``(avg_active, avg_active_sq, live_groups)``: the mean
+        active-function count per grid point, its square's mean (what a
+        per-point ``act x act`` contraction costs), and the number of
+        batches with a non-empty active set.  Replaces the dense
+        ``n_basis`` factors in the launch model, so the device is
+        charged only for the blocks it actually launches.
+        """
+        pattern = self._require_pattern()
+        builder = self._require_bound()
+        pts = np.array([b.n_points for b in builder.batches], dtype=float)
+        act = np.array(
+            [pattern.n_active(b.index) for b in builder.batches], dtype=float
+        )
+        total = max(pts.sum(), 1.0)
+        avg = float((pts * act).sum() / total)
+        avg_sq = float((pts * act * act).sum() / total)
+        return avg, avg_sq, int(np.count_nonzero(act > 0))
+
+    def _launch(
+        self,
+        kernel: Kernel,
+        buffers: Dict[str, DeviceBuffer],
+        ndrange: Optional[NDRange] = None,
+    ) -> None:
+        report = self.device.launch(kernel, ndrange or self._ndrange(), buffers)
         self.profile.device_launches += 1
         self.profile.device_modeled_seconds += report.total_time
         self._record_transfers()
@@ -90,28 +120,64 @@ class DeviceBackend(ExecutionBackend):
     def _density_impl(self, p: np.ndarray) -> np.ndarray:
         builder = self._require_bound()
         nb = builder.basis.n_basis
+        pattern = builder.pattern
         p_buf = DeviceBuffer("p", p)
         out = DeviceBuffer("n", np.zeros(builder.grid.n_points))
         self.device.to_device(p_buf)
         self.device.to_device(out)
         batches = builder.batches
 
-        def body(bufs: Dict[str, DeviceBuffer]) -> None:
-            phi = bufs["basis_values"].data
-            p_local = bufs["p"].data
-            n = bufs["n"].data
-            for b in batches:
-                idx = b.point_indices
-                n[idx] = density_block(phi[idx], p_local)
+        if pattern is None:
 
-        kernel = Kernel(
-            name="sumup_density",
-            func=body,
-            flops_per_item=2.0 * nb**2,
-            bytes_read_per_item=8.0 * nb,
-            bytes_written_per_item=8.0,
+            def body(bufs: Dict[str, DeviceBuffer]) -> None:
+                phi = bufs["basis_values"].data
+                p_local = bufs["p"].data
+                n = bufs["n"].data
+                for b in batches:
+                    idx = b.point_indices
+                    n[idx] = density_block(phi[idx], p_local)
+
+            kernel = Kernel(
+                name="sumup_density",
+                func=body,
+                flops_per_item=2.0 * nb**2,
+                bytes_read_per_item=8.0 * nb,
+                bytes_written_per_item=8.0,
+            )
+            ndrange = self._ndrange()
+        else:
+            # Block-sparse Sumup: gather the staged table's active
+            # columns per batch (same compact math as the other
+            # backends) and price the launch by the active sets only.
+            record = self._record_screened_batch
+
+            def body(bufs: Dict[str, DeviceBuffer]) -> None:
+                phi = bufs["basis_values"].data
+                p_local = bufs["p"].data
+                n = bufs["n"].data
+                for b in batches:
+                    record(b)
+                    act = pattern.active_functions[b.index]
+                    if act.size == 0:
+                        continue
+                    idx = b.point_indices
+                    n[idx] = density_block(
+                        phi[idx][:, act], p_local[np.ix_(act, act)]
+                    )
+
+            avg, avg_sq, groups = self._screen_pricing()
+            kernel = Kernel(
+                name="sumup_density_screened",
+                func=body,
+                flops_per_item=2.0 * avg_sq,
+                bytes_read_per_item=8.0 * avg,
+                bytes_written_per_item=8.0,
+            )
+            ndrange = self._ndrange(n_groups=groups)
+        self._launch(
+            kernel, {"basis_values": self._phi, "p": p_buf, "n": out},
+            ndrange=ndrange,
         )
-        self._launch(kernel, {"basis_values": self._phi, "p": p_buf, "n": out})
         self.device.from_device(out)
         self._record_transfers()
         return out.data
@@ -121,28 +187,61 @@ class DeviceBackend(ExecutionBackend):
 
         builder = self._require_bound()
         nb = builder.basis.n_basis
+        pattern = builder.pattern
         v_buf = DeviceBuffer("v", v)
         out = DeviceBuffer("h", np.zeros((nb, nb)))
         self.device.to_device(v_buf)
         self.device.to_device(out)
         batches = builder.batches
 
-        def body(bufs: Dict[str, DeviceBuffer]) -> None:
-            phi = bufs["basis_values"].data
-            wv = bufs["weights"].data * bufs["v"].data
-            acc = np.zeros((nb, nb))
-            for b in batches:
-                idx = b.point_indices
-                acc += potential_block(phi[idx], wv[idx])
-            bufs["h"].data[...] = symmetrize(acc)
+        if pattern is None:
 
-        kernel = Kernel(
-            name="h_integration",
-            func=body,
-            flops_per_item=3.0 * nb**2,
-            bytes_read_per_item=8.0 * nb,
-            bytes_written_per_item=8.0,
-        )
+            def body(bufs: Dict[str, DeviceBuffer]) -> None:
+                phi = bufs["basis_values"].data
+                wv = bufs["weights"].data * bufs["v"].data
+                acc = np.zeros((nb, nb))
+                for b in batches:
+                    idx = b.point_indices
+                    acc += potential_block(phi[idx], wv[idx])
+                bufs["h"].data[...] = symmetrize(acc)
+
+            kernel = Kernel(
+                name="h_integration",
+                func=body,
+                flops_per_item=3.0 * nb**2,
+                bytes_read_per_item=8.0 * nb,
+                bytes_written_per_item=8.0,
+            )
+            ndrange = self._ndrange()
+        else:
+            # Block-sparse H: per-batch (act x act) blocks scatter-added
+            # at the active indices; only live batches are scheduled.
+            record = self._record_screened_batch
+
+            def body(bufs: Dict[str, DeviceBuffer]) -> None:
+                phi = bufs["basis_values"].data
+                wv = bufs["weights"].data * bufs["v"].data
+                acc = np.zeros((nb, nb))
+                for b in batches:
+                    record(b)
+                    act = pattern.active_functions[b.index]
+                    if act.size == 0:
+                        continue
+                    idx = b.point_indices
+                    acc[np.ix_(act, act)] += potential_block(
+                        phi[idx][:, act], wv[idx]
+                    )
+                bufs["h"].data[...] = symmetrize(acc)
+
+            avg, avg_sq, groups = self._screen_pricing()
+            kernel = Kernel(
+                name="h_integration_screened",
+                func=body,
+                flops_per_item=3.0 * avg_sq,
+                bytes_read_per_item=8.0 * avg,
+                bytes_written_per_item=8.0,
+            )
+            ndrange = self._ndrange(n_groups=groups)
         self._launch(
             kernel,
             {
@@ -151,6 +250,7 @@ class DeviceBackend(ExecutionBackend):
                 "v": v_buf,
                 "h": out,
             },
+            ndrange=ndrange,
         )
         self.device.from_device(out)
         self._record_transfers()
@@ -179,10 +279,17 @@ class DeviceBackend(ExecutionBackend):
             result["dm"] = out
             bufs["p1"].data[...] = out[2]
 
+        # Under screening h1 only carries the pattern's atom-pair
+        # blocks, so the read side of the rotation is priced by the
+        # average nonzeros per row instead of the dense n_basis.
+        if builder.pattern is None:
+            nnz_per_row = float(nb)
+        else:
+            nnz_per_row = builder.pattern.matrix_nnz / max(nb, 1)
         kernel = Kernel(
             name="dm_response",
             func=body,
-            flops_per_item=2.0 * nb,
+            flops_per_item=2.0 * nnz_per_row,
             bytes_read_per_item=16.0,
             bytes_written_per_item=8.0,
         )

@@ -31,3 +31,13 @@ class NumpyBackend(ExecutionBackend):
             # a fresh evaluation — the parity anchor for all backends.
             return builder.basis_values()[batch.point_indices]
         return self._evaluate_block(batch)
+
+    def basis_block_active(self, batch: GridBatch) -> np.ndarray:
+        builder = self._require_bound()
+        active = self._require_pattern().active_functions[batch.index]
+        if builder.table_cache_enabled:
+            # Cached full-table rows are *sliced* by the active list —
+            # never re-evaluated — so table caching and screening
+            # compose: the cache hit survives, only the columns shrink.
+            return builder.basis_values()[batch.point_indices][:, active]
+        return self._evaluate_block(batch, active=active)

@@ -23,6 +23,34 @@ from repro.errors import BasisError
 #: Knots for tabulating species radial functions.
 _RADIAL_KNOTS: int = 320
 
+#: Radial samples used when locating a shell's screened effective radius.
+_SCREEN_SAMPLES: int = 512
+
+
+def effective_shell_radius(
+    g_spline: CubicSpline,
+    cutoff: float,
+    l: int,
+    threshold: float,
+    samples: int = _SCREEN_SAMPLES,
+) -> float:
+    """Largest radius where ``|g(r)| * max(r, 1)^l`` still reaches *threshold*.
+
+    The amplitude proxy bounds ``|chi_mu| = |g(r)| |S_lm|`` up to an
+    l-dependent constant (solid harmonics grow like ``r^l``), so a batch
+    farther than this radius (plus the batch's bounding radius) sees only
+    sub-threshold values of the shell's functions.  Monotone
+    non-increasing in the threshold by construction: raising it can only
+    shrink the set of surviving sample radii.  ``threshold <= 0`` returns
+    the full cutoff (screening disabled).
+    """
+    if threshold <= 0.0:
+        return float(cutoff)
+    r = np.linspace(0.0, float(cutoff), samples)
+    amp = np.abs(g_spline(r)) * np.maximum(r, 1.0) ** l
+    above = np.nonzero(amp >= threshold)[0]
+    return float(r[above[-1]]) if above.size else 0.0
+
 
 @dataclass(frozen=True)
 class BasisFunction:
@@ -163,6 +191,32 @@ class BasisSet:
                 + g[:, None, None] * grad_s
             )
         return values, grads
+
+    # ------------------------------------------------------------------
+    # Screening
+    # ------------------------------------------------------------------
+    def screened_function_cutoffs(self, threshold: float) -> np.ndarray:
+        """Per-function effective reach at a screening threshold.
+
+        Shape ``(n_basis,)``; every function of a shell shares the
+        shell's :func:`effective_shell_radius`.  ``threshold <= 0``
+        reproduces the full cutoffs (no screening).
+        """
+        out = np.empty(self.n_basis)
+        for inst in self._shells:
+            r_eff = effective_shell_radius(
+                inst.g_spline, inst.cutoff, inst.shell.l, threshold
+            )
+            out[inst.first_index : inst.first_index + inst.shell.n_functions] = r_eff
+        return out
+
+    def screened_atom_cutoffs(self, threshold: float) -> np.ndarray:
+        """Per-atom max of the screened function reaches, ``(n_atoms,)``."""
+        out = np.zeros(self.structure.n_atoms)
+        np.maximum.at(
+            out, self.function_atoms, self.screened_function_cutoffs(threshold)
+        )
+        return out
 
     def interaction_pairs(self) -> List[Tuple[int, int]]:
         """Atom pairs (i <= j) whose basis functions overlap somewhere.

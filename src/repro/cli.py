@@ -67,9 +67,14 @@ def _cmd_physics(args: argparse.Namespace) -> int:
     from repro.obs import RunReport, Tracer, activate, write_chrome_trace
 
     structure = _load_structure(args)
-    settings = get_settings(args.level, backend=args.backend, verify=args.verify)
+    screening = float(getattr(args, "screening", 0.0) or 0.0)
+    settings = get_settings(
+        args.level, backend=args.backend, verify=args.verify,
+        screening_threshold=screening,
+    )
     print(f"Running all-electron DFPT on {structure} "
-          f"(level={args.level}, backend={args.backend})")
+          f"(level={args.level}, backend={args.backend}"
+          + (f", screening={screening:g})" if screening > 0.0 else ")"))
     sim = PerturbationSimulator(structure, settings, charge=args.charge)
     # Validate every output path *before* the run: a doomed artifact
     # write must fail fast, not after the SCF+CPSCF work.
@@ -266,19 +271,26 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         load_history,
         rolling_baseline,
     )
-    from repro.obs.bench import backend_emission
+    from repro.obs.bench import emission_for_baseline
     from repro.obs.regress import (
         baseline_run_parameters,
         compare_reports,
         load_baseline,
     )
 
+    # The gate re-runs whichever emission kind ("backends", "sparse")
+    # the baseline came from; history entries of other kinds are a
+    # separate lineage and never mix into the rolling median.
     history = load_history(args.history) if args.history else []
     if args.against_history and history:
+        kind = str(history[-1].get("label", "backends"))
+        history = [e for e in history if str(e.get("label", "backends")) == kind]
+        params_doc = history[-1]["emission"]
         level, n_sweeps = latest_parameters(history)
         baseline = rolling_baseline(history, window=args.window)
         print(
-            f"bench-check: fresh emission (level={level}, {n_sweeps} sweeps) "
+            f"bench-check: fresh {kind} emission (level={level}, "
+            f"{n_sweeps} sweeps) "
             f"vs rolling median of last {min(args.window, len(history))} "
             f"history entr{'y' if len(history) == 1 else 'ies'} "
             f"({args.history})"
@@ -287,11 +299,13 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         if args.against_history:
             print(f"history {args.history} is empty; "
                   "falling back to the committed baseline")
-        baseline = load_baseline(args.baseline)
+        params_doc = baseline = load_baseline(args.baseline)
+        kind = str(baseline.get("benchmark", "backends"))
+        history = [e for e in history if str(e.get("label", "backends")) == kind]
         level, n_sweeps = baseline_run_parameters(baseline)
-        print(f"bench-check: fresh emission (level={level}, {n_sweeps} sweeps) "
-              f"vs baseline {args.baseline}")
-    fresh = backend_emission(level, n_sweeps)
+        print(f"bench-check: fresh {kind} emission (level={level}, "
+              f"{n_sweeps} sweeps) vs baseline {args.baseline}")
+    fresh = emission_for_baseline(params_doc)
     if args.write_fresh:
         from pathlib import Path
 
@@ -302,7 +316,7 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     report = compare_reports(fresh, baseline)
     print(report.render())
     if args.history:
-        append_entry(args.history, fresh, gate_ok=report.ok)
+        append_entry(args.history, fresh, label=kind, gate_ok=report.ok)
         print(f"history: appended entry #{len(history) + 1} -> {args.history}")
     return 0 if report.ok else 1
 
@@ -557,6 +571,19 @@ def build_parser() -> argparse.ArgumentParser:
             default="off",
             choices=["off", "cheap", "full"],
             help="run physics-invariant checks at phase boundaries",
+        )
+        from repro.grids.sparsity import DEFAULT_SCREENING_THRESHOLD
+
+        p.add_argument(
+            "--screening",
+            nargs="?",
+            type=float,
+            const=DEFAULT_SCREENING_THRESHOLD,
+            default=0.0,
+            metavar="THRESHOLD",
+            help="enable block-sparse basis screening (optional threshold; "
+            f"bare flag uses {DEFAULT_SCREENING_THRESHOLD:g}, 0 disables "
+            "for the exact dense path)",
         )
         p.add_argument(
             "--report",

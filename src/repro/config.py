@@ -71,6 +71,12 @@ class RunSettings:
     #: evaluation, Hartree rebuild, Gauss-law far field).  See
     #: :mod:`repro.verify.invariants`.
     verify: str = "off"
+    #: Batch-local basis-screening threshold for the block-sparse
+    #: integration seam (:mod:`repro.grids.sparsity`).  ``0.0`` disables
+    #: screening — the exact dense code path, bitwise identical to the
+    #: pre-screening pipeline; ``> 0`` drops basis functions whose
+    #: amplitude proxy stays below the threshold on a batch.
+    screening_threshold: float = 0.0
 
     def with_grids(self, **kwargs) -> "RunSettings":
         """Return a copy with modified grid settings."""

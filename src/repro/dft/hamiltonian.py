@@ -52,6 +52,15 @@ class MatrixBuilder:
         Override of the full-table element budget (``n_points *
         n_basis``); defaults to the module-level ``_CACHE_LIMIT``.
         Tests and benchmarks lower it to exercise the streaming paths.
+    screening_threshold:
+        Batch-local basis-screening threshold
+        (:mod:`repro.grids.sparsity`).  ``0.0`` (the default) disables
+        screening entirely — no pattern is built and every contraction
+        runs the exact dense code path, bitwise identical to the
+        pre-screening pipeline.  ``> 0`` builds a
+        :class:`~repro.grids.sparsity.SparsityPattern` once and every
+        layer below (backends, kinetic, reference paths) contracts only
+        active functions.
     """
 
     def __init__(
@@ -61,6 +70,7 @@ class MatrixBuilder:
         batches: Optional[List[GridBatch]] = None,
         backend: Union[str, "ExecutionBackend", None] = None,
         cache_limit: Optional[int] = None,
+        screening_threshold: float = 0.0,
     ) -> None:
         self.basis = basis
         self.grid = grid
@@ -76,6 +86,18 @@ class MatrixBuilder:
         self._cache_limit = _CACHE_LIMIT if cache_limit is None else int(cache_limit)
         self._use_cache = grid.n_points * basis.n_basis <= self._cache_limit
         self._thrash_warned = False
+
+        # The pattern must exist before the backend binds: device
+        # staging and profile fill counters read it at bind time.
+        self.screening_threshold = float(screening_threshold)
+        if self.screening_threshold > 0.0:
+            from repro.grids.sparsity import build_sparsity_pattern
+
+            self.pattern = build_sparsity_pattern(
+                basis, self.batches, self.screening_threshold
+            )
+        else:
+            self.pattern = None
 
         from repro.backends.registry import resolve_backend
 
@@ -122,17 +144,37 @@ class MatrixBuilder:
         return self.potential_matrix(np.ones(self.grid.n_points))
 
     def kinetic(self) -> np.ndarray:
-        """T_mu_nu = (1/2) <grad chi_mu | grad chi_nu> (by parts)."""
+        """T_mu_nu = (1/2) <grad chi_mu | grad chi_nu> (by parts).
+
+        Under screening, each batch evaluates gradients only for its
+        active atoms and scatter-adds the compact block — the same
+        locality rule every other grid contraction follows.
+        """
         w = self.grid.weights
         t = np.zeros((self.basis.n_basis, self.basis.n_basis))
         # Gradients are only needed here, once; integrate batch-wise to
         # bound memory at (batch points x n_basis x 3).
         for b in self.batches:
             idx = b.point_indices
+            wb = w[idx]
+            if self.pattern is not None:
+                act = self.pattern.active_functions[b.index]
+                if act.size == 0:
+                    continue
+                _, grads = self.basis.evaluate_with_gradients(
+                    self.grid.points[idx],
+                    atoms=self.pattern.active_atoms[b.index],
+                )
+                grads = grads[:, act, :]
+                sub = np.zeros((act.size, act.size))
+                for k in range(3):
+                    gk = grads[:, :, k]
+                    sub += gk.T @ (gk * wb[:, None])
+                t[np.ix_(act, act)] += sub
+                continue
             _, grads = self.basis.evaluate_with_gradients(
                 self.grid.points[idx], atoms=b.relevant_atoms
             )
-            wb = w[idx]
             for k in range(3):
                 gk = grads[:, :, k]
                 t += gk.T @ (gk * wb[:, None])
@@ -173,26 +215,54 @@ class MatrixBuilder:
     # block is evaluated fresh, so the invariant registry can compare a
     # backend's answers against an independent derivation.  Honest
     # backends are bit-exact with these (same batch order, same math).
-    def reference_density(self, density_matrix: np.ndarray) -> np.ndarray:
+    # When a screening pattern is active the references honor it by
+    # default (so invariants stay bit-tight against screened backends);
+    # ``screened=False`` forces the fully dense derivation — that is the
+    # seam the ``screening_vs_dense`` invariant compares against.
+    def reference_density(
+        self, density_matrix: np.ndarray, screened: bool = True
+    ) -> np.ndarray:
         """Pointwise density via direct per-batch evaluation."""
         from repro.backends.base import density_block
 
         p = np.asarray(density_matrix, dtype=float)
         out = np.zeros(self.grid.n_points)
+        pattern = self.pattern if screened else None
         for b in self.batches:
             idx = b.point_indices
+            if pattern is not None:
+                act = pattern.active_functions[b.index]
+                if act.size == 0:
+                    continue
+                phi_b = self.basis.evaluate(
+                    self.grid.points[idx], atoms=pattern.active_atoms[b.index]
+                )[:, act]
+                out[idx] = density_block(phi_b, p[np.ix_(act, act)])
+                continue
             phi_b = self.basis.evaluate(self.grid.points[idx], atoms=b.relevant_atoms)
             out[idx] = density_block(phi_b, p)
         return out
 
-    def reference_potential_matrix(self, potential_values: np.ndarray) -> np.ndarray:
+    def reference_potential_matrix(
+        self, potential_values: np.ndarray, screened: bool = True
+    ) -> np.ndarray:
         """``<chi_mu | v | chi_nu>`` via direct per-batch evaluation."""
         from repro.backends.base import potential_block
 
         wv = self.grid.weights * np.asarray(potential_values, dtype=float)
         acc = np.zeros((self.basis.n_basis, self.basis.n_basis))
+        pattern = self.pattern if screened else None
         for b in self.batches:
             idx = b.point_indices
+            if pattern is not None:
+                act = pattern.active_functions[b.index]
+                if act.size == 0:
+                    continue
+                phi_b = self.basis.evaluate(
+                    self.grid.points[idx], atoms=pattern.active_atoms[b.index]
+                )[:, act]
+                acc[np.ix_(act, act)] += potential_block(phi_b, wv[idx])
+                continue
             phi_b = self.basis.evaluate(self.grid.points[idx], atoms=b.relevant_atoms)
             acc += potential_block(phi_b, wv[idx])
         return symmetrize(acc)

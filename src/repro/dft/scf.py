@@ -114,6 +114,7 @@ class SCFDriver:
             self.basis,
             self.grid,
             backend=backend if backend is not None else self.settings.backend,
+            screening_threshold=self.settings.screening_threshold,
         )
         self.backend = self.builder.backend
         self.solver = MultipoleSolver(self.grid, self.settings.l_max_hartree)

@@ -1,0 +1,139 @@
+"""Beyond Fig. 16's 200 012-atom ceiling — modeled block-sparse reach.
+
+The paper's weak-scaling series tops out at 200 012 atoms.  At that
+scale the quadratically growing dense atom-pair block count — every
+batch against every atom — is what exhausts both memory and Sumup/H
+work.  The block-sparse locality seam (:mod:`repro.grids.sparsity`)
+replaces it with the *active* block count, which batch-local screening
+bounds linearly in N for chain-like systems.
+
+This experiment extends the modeled scale past the ceiling by counting
+active blocks with the same per-atom fragment decomposition the real
+grid batcher uses (:func:`repro.grids.sparsity.modeled_block_counts`):
+no grid is built and no basis is evaluated, so million-atom chains
+price in seconds.  Two diagnostics matter:
+
+* ``block_reduction`` — dense/active block ratio, the Sumup/H work the
+  screening pattern removes (grows ~linearly with N);
+* ``blocks_per_atom`` — active blocks per atom, which must stay flat
+  across the series: that flatness *is* the linear-scaling claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.atoms.builders import polyethylene, polyethylene_units_for_atoms
+from repro.experiments.common import full_scale_enabled
+from repro.grids.sparsity import DEFAULT_SCREENING_THRESHOLD, modeled_block_counts
+from repro.utils.reports import TableFormatter
+
+#: The paper's largest weak-scaling workload (Fig. 16).
+PAPER_CEILING_ATOMS = 200012
+
+#: Default H(C2H4)nH sizes: the ceiling bracketed, then past it.
+BEYOND_CASES_QUICK = (30002, 200012, 500006)
+BEYOND_CASES_FULL = (30002, 117602, 200012, 500006, 1000010)
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Modeled pattern counts for one chain length."""
+
+    n_atoms: int
+    n_basis: int
+    n_batches: int
+    blocks_active: int
+    blocks_dense: int
+    block_reduction: float
+    fill_fraction: float
+    elements_active: int
+    elements_dense: int
+
+    @property
+    def blocks_per_atom(self) -> float:
+        """Active blocks per atom — flat across N under linear scaling."""
+        return self.blocks_active / self.n_atoms
+
+
+@dataclass
+class Beyond200kResult:
+    """The modeled series, renderable as the scale-extension table."""
+
+    threshold: float
+    points: List[ScalePoint]
+
+    @property
+    def max_atoms(self) -> int:
+        return max(p.n_atoms for p in self.points)
+
+    def linearity(self) -> float:
+        """Largest relative spread of ``blocks_per_atom`` over the series.
+
+        0 means perfectly linear scaling; chain-end effects keep real
+        series slightly below ~0.1.
+        """
+        per_atom = [p.blocks_per_atom for p in self.points]
+        lo, hi = min(per_atom), max(per_atom)
+        return (hi - lo) / hi if hi > 0 else 0.0
+
+    def render(self) -> str:
+        t = TableFormatter(
+            [
+                "atoms",
+                "basis",
+                "dense blocks",
+                "active blocks",
+                "reduction",
+                "fill",
+                "blocks/atom",
+            ],
+            title=(
+                f"beyond 200k: modeled block-sparse reach, H(C2H4)nH, "
+                f"threshold {self.threshold:g}"
+            ),
+        )
+        for p in self.points:
+            marker = " *" if p.n_atoms > PAPER_CEILING_ATOMS else ""
+            t.add_row(
+                [
+                    f"{p.n_atoms:,}{marker}",
+                    f"{p.n_basis:,}",
+                    f"{p.blocks_dense:,}",
+                    f"{p.blocks_active:,}",
+                    f"{p.block_reduction:,.0f}x",
+                    f"{p.fill_fraction:.2e}",
+                    f"{p.blocks_per_atom:.1f}",
+                ]
+            )
+        return t.render() + "\n* past the paper's largest run (Fig. 16)"
+
+
+def run_beyond200k(
+    atom_counts: Optional[Sequence[int]] = None,
+    threshold: float = DEFAULT_SCREENING_THRESHOLD,
+) -> Beyond200kResult:
+    """Model the active-block series across (and past) the paper's scale."""
+    if atom_counts is None:
+        atom_counts = (
+            BEYOND_CASES_FULL if full_scale_enabled() else BEYOND_CASES_QUICK
+        )
+    points: List[ScalePoint] = []
+    for n_atoms in atom_counts:
+        n_units = polyethylene_units_for_atoms(n_atoms)
+        doc = modeled_block_counts(polyethylene(n_units), threshold=threshold)
+        points.append(
+            ScalePoint(
+                n_atoms=doc["n_atoms"],
+                n_basis=doc["n_basis"],
+                n_batches=doc["n_batches"],
+                blocks_active=doc["blocks_active"],
+                blocks_dense=doc["blocks_dense"],
+                block_reduction=doc["block_reduction"],
+                fill_fraction=doc["fill_fraction"],
+                elements_active=doc["elements_active"],
+                elements_dense=doc["elements_dense"],
+            )
+        )
+    return Beyond200kResult(threshold=float(threshold), points=points)

@@ -16,6 +16,12 @@ from repro.grids.batching import (
     cut_plane_partition,
     attach_relevant_atoms,
 )
+from repro.grids.sparsity import (
+    SparsityPattern,
+    SparsityStats,
+    build_sparsity_pattern,
+    modeled_block_counts,
+)
 
 __all__ = [
     "AngularRule",
@@ -30,4 +36,8 @@ __all__ = [
     "build_batches",
     "cut_plane_partition",
     "attach_relevant_atoms",
+    "SparsityPattern",
+    "SparsityStats",
+    "build_sparsity_pattern",
+    "modeled_block_counts",
 ]

@@ -10,6 +10,12 @@ bit-identical) lives here so that both entry points produce the same
 * ``repro bench-check`` — re-runs the emission at the baseline's own
   parameters and feeds it to :mod:`repro.obs.regress`.
 
+:func:`sparse_emission` is the block-sparse sibling
+(``BENCH_sparse.json``, via ``benchmarks/bench_sparse.py``): dense vs
+screened sweeps on a polyethylene chain, pinning the screening
+pattern's block-evaluation reduction.  :func:`emission_for_baseline`
+dispatches the gate to whichever emission a baseline came from.
+
 The emission carries a :class:`~repro.obs.report.Provenance` block, so
 every ``BENCH_*.json`` names the commit, seed and machine models it was
 produced under (the EXPERIMENTS.md footer policy).
@@ -24,7 +30,7 @@ same code serialize to identical bytes (writers use sorted keys).
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -134,6 +140,130 @@ def backend_emission(level: str, n_sweeps: int) -> dict:
         ]
     }
     return report
+
+
+def sparse_emission(
+    n_units: int,
+    n_sweeps: int,
+    threshold: Optional[float] = None,
+    level: str = "minimal",
+) -> dict:
+    """Dense-vs-screened comparison; the ``BENCH_sparse.json`` document.
+
+    A polyethylene chain (``H(C2H4)nH``, the paper's linear-scaling
+    workload shape) is long enough that batch-local screening actually
+    drops atom-pair blocks — unlike the water molecule of
+    :func:`backend_emission`, whose every function reaches every batch.
+    Two builders share one basis/grid/batch decomposition: the dense
+    reference (``screening_threshold = 0``) and the screened one at
+    *threshold*; both run ``n_sweeps`` Sumup + H sweeps.
+
+    The screened outputs are checked against the dense ones within the
+    physics tolerance (1e-4) before any timing is reported, and the
+    pattern's block-evaluation reduction is recorded — the committed
+    baseline pins the >= 3x payoff the locality seam exists for.
+    """
+    from repro.atoms import polyethylene
+    from repro.basis import build_basis
+    from repro.config import get_settings
+    from repro.dft.hamiltonian import MatrixBuilder
+    from repro.grids import build_grid
+    from repro.grids.sparsity import DEFAULT_SCREENING_THRESHOLD
+
+    if n_sweeps < 1:
+        raise ExperimentError(f"need >= 1 sweep, got {n_sweeps}")
+    if threshold is None:
+        threshold = DEFAULT_SCREENING_THRESHOLD
+    if threshold <= 0.0:
+        raise ExperimentError(
+            f"the sparse benchmark needs a positive threshold, got {threshold}"
+        )
+    structure = polyethylene(n_units)
+    settings = get_settings(level)
+    basis = build_basis(structure)
+    grid = build_grid(structure, settings.grids, with_partition=True)
+    dense = MatrixBuilder(basis, grid, backend="numpy")
+    screened = MatrixBuilder(
+        basis,
+        grid,
+        batches=dense.batches,
+        backend="numpy",
+        screening_threshold=threshold,
+    )
+    results = {
+        "dense": sweep(dense, n_sweeps),
+        "screened": sweep(screened, n_sweeps),
+    }
+
+    density_diff = float(
+        np.abs(results["dense"]["density"] - results["screened"]["density"]).max()
+    )
+    potential_diff = float(
+        np.abs(
+            results["dense"]["potential"] - results["screened"]["potential"]
+        ).max()
+    )
+    if max(density_diff, potential_diff) > 1e-4:
+        raise ExperimentError(
+            f"screened outputs left the physics tolerance: density diff "
+            f"{density_diff:.3e}, potential diff {potential_diff:.3e}"
+        )
+
+    stats = screened.pattern.stats
+    dense_wall = results["dense"]["wall"]
+    screened_wall = results["screened"]["wall"]
+    return {
+        "benchmark": "sparse",
+        "system": "polyethylene",
+        "n_units": n_units,
+        "n_atoms": structure.n_atoms,
+        "level": level,
+        "n_points": grid.n_points,
+        "n_basis": basis.n_basis,
+        "n_sweeps": n_sweeps,
+        "threshold": threshold,
+        "sparsity": stats.as_dict(),
+        "block_reduction": stats.block_reduction,
+        "screen_counters": screened.backend.profile.as_dict()["sparsity"],
+        "diff": {
+            "density_max_diff": density_diff,
+            "potential_max_diff": potential_diff,
+        },
+        "timings": {
+            "dense_wall_seconds": dense_wall,
+            "screened_wall_seconds": screened_wall,
+            "screened_speedup_vs_dense": (
+                dense_wall / screened_wall if screened_wall > 0 else float("inf")
+            ),
+        },
+        "provenance": collect_provenance(seed=BENCH_SEED).as_dict(),
+    }
+
+
+def emission_for_baseline(baseline: dict) -> dict:
+    """Re-run the emission that produced *baseline*, at its own parameters.
+
+    Dispatches on the document's ``benchmark`` tag (absent in the
+    original backend emissions, so those default to ``"backends"``) —
+    the regression gate stays one code path for every ``BENCH_*.json``.
+    """
+    from repro.obs.regress import baseline_run_parameters
+
+    kind = str(baseline.get("benchmark", "backends"))
+    level, n_sweeps = baseline_run_parameters(baseline)
+    if kind == "sparse":
+        try:
+            n_units = int(baseline["n_units"])
+            threshold = float(baseline["threshold"])
+        except (KeyError, TypeError, ValueError):
+            raise ExperimentError(
+                "sparse baseline is missing its run parameters "
+                "(n_units, threshold); regenerate it with the current benchmark"
+            ) from None
+        return sparse_emission(n_units, n_sweeps, threshold, level=level)
+    if kind != "backends":
+        raise ExperimentError(f"unknown benchmark kind {kind!r} in baseline")
+    return backend_emission(level, n_sweeps)
 
 
 def _split_profile(profile: dict) -> tuple:

@@ -102,8 +102,15 @@ def default_band(key: str) -> Band:
     'slowdown'
     >>> default_band("batched_speedup_vs_numpy").kind
     'floor'
+    >>> default_band("diff.density_max_diff").kind
+    'ignore'
     """
     leaf = key.rsplit(".", 1)[-1]
+    if "diff" in leaf:
+        # Dense-vs-screened residuals: bounded by the emission itself
+        # (it refuses to report past the physics tolerance) but their
+        # exact value is BLAS-library noise — recorded, never gating.
+        return Band("ignore")
     if "speedup" in leaf:
         return Band("floor", SPEEDUP_FLOOR_FACTOR)
     if leaf == "modeled_seconds":

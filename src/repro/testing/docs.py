@@ -40,6 +40,7 @@ AUDITED_MODULES = (
     "repro.utils.balance",
     "repro.utils.timing",
     "repro.runtime.trace",
+    "repro.grids.sparsity",
 )
 
 

@@ -69,6 +69,13 @@ def format_backend_profile(profile: "BackendProfile") -> str:
             f"{format_seconds(profile.device_modeled_seconds)} modeled, "
             f"{format_bytes(profile.device_bytes_transferred)} transferred"
         )
+    if profile.screen_blocks_evaluated or profile.screen_blocks_skipped:
+        dense = profile.screen_blocks_evaluated + profile.screen_blocks_skipped
+        lines.append(
+            f"screening: {profile.screen_blocks_evaluated:,}/{dense:,} "
+            f"blocks evaluated ({profile.screen_blocks_skipped:,} skipped, "
+            f"fill {profile.screen_fill_fraction:.3f})"
+        )
     return "\n".join(lines)
 
 

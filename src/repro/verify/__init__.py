@@ -7,9 +7,10 @@ The repo's correctness story in one place (DESIGN §9):
   law, CPSCF stationarity...) that the SCF/CPSCF drivers run at phase
   boundaries when ``RunSettings.verify`` is ``"cheap"`` or ``"full"``.
 * :mod:`repro.verify.differential` — the conformance harness: one
-  workload across the {backend} x {mapping} x {comm-scheme} matrix,
-  every configuration classified as bit-exact / tolerance-class /
-  divergent, with divergences bisected to the first differing phase.
+  workload across the {backend} x {mapping} x {comm-scheme} matrix plus
+  the block-sparse {screening} axis (dense vs screened traces), every
+  configuration classified as bit-exact / tolerance-class / divergent,
+  with divergences bisected to the first differing phase.
 * :mod:`repro.verify.golden` — tolerance-aware ``.npz`` golden
   snapshots of H2/H2O energies, matrices and polarizabilities, guarded
   against silent regeneration.
@@ -26,6 +27,7 @@ from repro.verify.differential import (
     classify,
     first_divergent_phase,
     run_conformance,
+    screening_conformance,
 )
 from repro.verify.golden import (
     GOLDEN_MOLECULES,
@@ -68,5 +70,6 @@ __all__ = [
     "record_from_run",
     "run_conformance",
     "save_golden",
+    "screening_conformance",
     "verify_golden",
 ]

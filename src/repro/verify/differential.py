@@ -20,7 +20,12 @@ Two instruments:
    bisects to the earliest phase whose artifacts disagree — a wrong
    polarizability is attributed to, say, ``scf/density`` rather than
    just "the end differs".
-2. :func:`combo_conformance` composes all three axes on one physical
+2. :func:`screening_conformance` runs the same phase-trace instrument
+   along the block-sparse *screening* axis: a dense reference trace
+   (threshold ``0.0``) against screened traces at requested thresholds.
+   Threshold ``0.0`` must classify bit-exact (disabled screening is the
+   dense code path); positive thresholds must stay within tolerance.
+3. :func:`combo_conformance` composes all three axes on one physical
    quantity: per-rank partial overlap matrices built through a given
    *backend*'s basis blocks, partitioned by a given *mapping* strategy,
    synthesized by a given *comm scheme* on a fault-free simulated
@@ -228,6 +233,67 @@ def backend_conformance(
 
 
 # ----------------------------------------------------------------------
+# The screening axis (dense vs block-sparse traces)
+# ----------------------------------------------------------------------
+def screening_conformance(
+    structure: Structure,
+    settings: Optional[RunSettings] = None,
+    thresholds: Optional[Sequence[float]] = None,
+    backend: Optional[str] = None,
+) -> List[PairResult]:
+    """Dense-vs-screened phase traces, one row per threshold.
+
+    The dense reference trace runs with ``screening_threshold = 0.0``
+    (no pattern, the exact pre-screening code path).  Each requested
+    threshold reruns the full pipeline with screening enabled and
+    classifies its agreement with the dense trace:
+
+    * threshold ``0.0`` must classify **bit-exact** — disabled
+      screening *is* the dense code path, so any difference is a
+      determinism bug, not a screening bug;
+    * positive thresholds land in ``allclose``/``physics`` (dropped
+      sub-threshold tails plus BLAS summation-grouping noise on the
+      compact blocks);
+    * ``DIVERGENT`` rows are bisected to the first broken phase, so an
+      overscreened pattern is attributed to e.g. ``scf/density`` rather
+      than "the polarizability differs".
+    """
+    from dataclasses import replace
+
+    from repro.grids.sparsity import DEFAULT_SCREENING_THRESHOLD
+
+    settings = settings or get_settings("minimal")
+    if thresholds is None:
+        thresholds = (0.0, DEFAULT_SCREENING_THRESHOLD)
+    dense = capture_physics_trace(
+        structure, replace(settings, screening_threshold=0.0), backend=backend
+    )
+    pairs: List[PairResult] = []
+    for t in thresholds:
+        t = float(t)
+        trace = capture_physics_trace(
+            structure, replace(settings, screening_threshold=t), backend=backend
+        )
+        diff = max(float(np.abs(dense[k] - trace[k]).max()) for k in dense)
+        cls = classify(diff)
+        divergence = None
+        if cls == DIVERGENT:
+            hit = first_divergent_phase(dense, trace)
+            divergence = hit[0] if hit else None
+        pairs.append(
+            PairResult(
+                axis="screening",
+                a="dense",
+                b=f"screened @ {t:g}",
+                max_abs_diff=diff,
+                classification=cls,
+                first_divergent_phase=divergence,
+            )
+        )
+    return pairs
+
+
+# ----------------------------------------------------------------------
 # The backend x mapping x comm matrix
 # ----------------------------------------------------------------------
 def _mapping_fn(name: str):
@@ -362,11 +428,21 @@ def run_conformance(
     comms: Sequence[str] = COMM_SCHEMES,
     n_ranks: int = 4,
     name: Optional[str] = None,
+    screenings: Optional[Sequence[float]] = None,
 ) -> ConformanceReport:
-    """The full conformance matrix for one workload."""
+    """The full conformance matrix for one workload.
+
+    ``screenings`` selects the thresholds for the screening axis
+    (default: ``0.0`` plus the default screening threshold); pass an
+    empty sequence to skip the axis.
+    """
     settings = get_settings(level)
     report = ConformanceReport(molecule=name or structure.name, level=level)
     report.pairs.extend(backend_conformance(structure, settings, backends))
+    if screenings is None or len(screenings) > 0:
+        report.pairs.extend(
+            screening_conformance(structure, settings, thresholds=screenings)
+        )
     report.pairs.extend(
         combo_conformance(
             structure, settings, backends, mappings, comms, n_ranks

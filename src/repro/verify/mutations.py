@@ -15,6 +15,8 @@ validation methodology (and this repo's invariant registry) must catch:
                           ``-f_xc n^(1)`` instead of ``+f_xc n^(1)``
 ``off_by_one_batch_slice`` the batch's basis block is shifted by one
                           point row (first row lost, last duplicated)
+``overscreened_block``    the screening pattern wrongly drops every
+                          function of one batch's first owner atom
 ======================== ==============================================
 
 The first four backend-level mutations are applied by running a driver
@@ -41,6 +43,7 @@ MUTATIONS = {
     "stale_dm_snapshot": "Sumup reuses the first density matrix forever",
     "wrong_xc_sign": "CPSCF response potential uses -f_xc * n1",
     "off_by_one_batch_slice": "basis block shifted one point row",
+    "overscreened_block": "screening drops one batch's first atom's functions",
 }
 
 #: Mutations implemented as a broken execution backend.
@@ -49,7 +52,12 @@ BACKEND_MUTATIONS = (
     "dropped_batch",
     "stale_dm_snapshot",
     "off_by_one_batch_slice",
+    "overscreened_block",
 )
+
+#: Backend mutations that only bite when block-sparse screening is on
+#: (they corrupt the *active* block path; a dense run never calls it).
+SCREENING_MUTATIONS = ("overscreened_block",)
 
 
 class MutantBackend(NumpyBackend):
@@ -82,6 +90,17 @@ class MutantBackend(NumpyBackend):
             and batch.index == len(self._require_bound().batches) - 1
         ):
             return np.zeros_like(block)
+        return block
+
+    def basis_block_active(self, batch: GridBatch) -> np.ndarray:
+        block = super().basis_block_active(batch)
+        if self.mutation == "overscreened_block" and batch.index == 0:
+            builder = self._require_bound()
+            act = builder.pattern.active_functions[0]
+            if act.size:
+                owner = int(builder.basis.function_atoms[act[0]])
+                block = block.copy()
+                block[:, builder.basis.function_atoms[act] == owner] = 0.0
         return block
 
     def density_on_grid(self, density_matrix: np.ndarray) -> np.ndarray:

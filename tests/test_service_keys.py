@@ -57,6 +57,7 @@ _settings = st.builds(
     l_max_hartree=st.integers(2, 8),
     backend=st.sampled_from(["numpy", "batched", "device"]),
     verify=st.sampled_from(["off", "cheap", "full"]),
+    screening_threshold=st.sampled_from([0.0, 1e-8, 1e-6, 1e-4]),
 )
 
 
@@ -69,7 +70,7 @@ def test_key_invariant_under_equal_value_reconstruction(s):
         scf=SCFSettings(**dataclasses.asdict(s.scf)),
         cpscf=CPSCFSettings(**dataclasses.asdict(s.cpscf)),
         l_max_hartree=s.l_max_hartree, xc=s.xc, backend=s.backend,
-        verify=s.verify,
+        verify=s.verify, screening_threshold=s.screening_threshold,
     )
     mol = hydrogen_molecule()
     assert cache_key(mol, s, commit=COMMIT) == cache_key(mol, clone,
@@ -104,6 +105,7 @@ def test_key_distinct_under_any_single_field_change(s, data):
         "l_max_hartree": st.integers(2, 9),
         "backend": st.sampled_from(["numpy", "batched", "device"]),
         "verify": st.sampled_from(["off", "cheap", "full"]),
+        "screening_threshold": st.sampled_from([0.0, 1e-8, 1e-6, 1e-4]),
         "xc": st.sampled_from(["lda", "pbe"]),
         "grids.n_radial_base": st.integers(8, 49),
         "grids.n_angular": st.sampled_from([26, 50, 110, 194]),

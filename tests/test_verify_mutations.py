@@ -13,7 +13,7 @@ from repro.dfpt.response import DFPTSolver
 from repro.dft.scf import SCFDriver
 from repro.errors import CPSCFConvergenceError, VerificationError
 from repro.verify import MUTATIONS, MutantBackend, Verifier, flip_xc_kernel_sign
-from repro.verify.mutations import BACKEND_MUTATIONS
+from repro.verify.mutations import BACKEND_MUTATIONS, SCREENING_MUTATIONS
 
 #: Invariants expected to flag each backend mutation (at least these;
 #: the assertion is ">= 1 of them", plus "no silent pass overall").
@@ -22,6 +22,7 @@ EXPECTED_CATCHERS = {
     "dropped_batch": {"density_consistency", "scf_stationarity"},
     "stale_dm_snapshot": {"density_consistency"},
     "off_by_one_batch_slice": {"density_consistency", "scf_stationarity"},
+    "overscreened_block": {"screening_vs_dense"},
 }
 
 
@@ -30,9 +31,17 @@ def _run_mutated(mutation):
 
     A mutated run may legitimately fail to converge in CPSCF (the wrong
     density makes the fixed point unreachable) — the invariants logged
-    up to that point are still the detection record.
+    up to that point are still the detection record.  Screening-seam
+    mutations only bite on the active-block path, so those runs enable
+    block-sparse screening.
     """
     settings = get_settings("minimal")
+    if mutation in SCREENING_MUTATIONS:
+        from repro.grids.sparsity import DEFAULT_SCREENING_THRESHOLD
+
+        settings = get_settings(
+            "minimal", screening_threshold=DEFAULT_SCREENING_THRESHOLD
+        )
     verifier = Verifier("full")
     driver = SCFDriver(
         hydrogen_molecule(),
