@@ -4,7 +4,7 @@
 PYTHON ?= python
 
 .PHONY: test chaos smoke bench-smoke bench-check docs-check trace analyze \
-	history-check service-check verify
+	history-check service-check fleet-check verify
 
 # Tier-1: the fast default profile (chaos sweeps deselected via addopts).
 test:
@@ -25,6 +25,8 @@ smoke:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py --quick
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sparse.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py --quick \
+		--output /tmp/BENCH_fleet_quick.json
 
 # Perf-regression gate: re-run each benchmark at its committed
 # baseline's own parameters and compare metric-by-metric (exact bands
@@ -43,7 +45,7 @@ docs-check:
 		src/repro/obs src/repro/service src/repro/utils/timing.py \
 		src/repro/utils/balance.py src/repro/utils/artifacts.py \
 		src/repro/runtime/trace.py src/repro/testing/docs.py \
-		src/repro/grids/sparsity.py
+		src/repro/grids/sparsity.py src/repro/fleet
 	PYTHONPATH=src $(PYTHON) tools/check_docstrings.py
 
 # Span trace of a real physics run, openable at https://ui.perfetto.dev.
@@ -81,9 +83,17 @@ service-check:
 	PYTHONPATH=src $(PYTHON) -m repro status --store .service-demo/journal.jsonl
 	rm -rf .service-demo
 
+# Fleet contract: the bit-exactness parity suite (fleet-of-N vs N
+# sequential runs across backends/screening/submission order) plus the
+# fleet-throughput regression gate against the committed baseline.
+fleet-check:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_fleet.py
+	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_fleet.json \
+		--history BENCH_history.jsonl
+
 # Physics-invariant + golden + differential-conformance check on H2,
-# plus the perf-regression, documentation, history-trend and service
-# gates (all tier-1 sized).  `python -m repro verify` (no args) covers
-# both reference molecules.
-verify: bench-check docs-check history-check service-check
+# plus the perf-regression, documentation, history-trend, service and
+# fleet gates (all tier-1 sized).  `python -m repro verify` (no args)
+# covers both reference molecules.
+verify: bench-check docs-check history-check service-check fleet-check
 	PYTHONPATH=src $(PYTHON) -m repro verify --molecule h2

@@ -28,8 +28,40 @@ DEFAULT_CACHE_BYTES: int = 64 << 20
 
 #: Dense blocks key on the batch index; screened compact blocks key on
 #: ``(batch index, active-set hash)`` so a pattern change can never
-#: serve a stale compact block.
-CacheKey = Union[int, Tuple[int, str]]
+#: serve a stale compact block.  Backends sharing one cache across
+#: molecules (the fleet driver) additionally prefix every key with a
+#: per-molecule *scope*, so two molecules' batch 0 can never alias.
+CacheKey = Union[int, Tuple]
+
+
+def block_cache_key(
+    batch_index: int,
+    scope: Optional[str] = None,
+    active_hash: Optional[str] = None,
+) -> CacheKey:
+    """The LRU key for one basis block.
+
+    Unscoped dense keys stay plain ints (the single-molecule layout the
+    backend benchmark pins); the screened variant appends the
+    pattern's active-set hash, and a *scope* (the fleet's molecule id)
+    prefixes either form so distinct molecules occupy disjoint key
+    spaces in a shared cache.
+
+    >>> block_cache_key(3)
+    3
+    >>> block_cache_key(3, active_hash="a1")
+    (3, 'a1')
+    >>> block_cache_key(3, scope="mol-0")
+    ('mol-0', 3)
+    >>> block_cache_key(3, scope="mol-0", active_hash="a1")
+    ('mol-0', 3, 'a1')
+    """
+    key: Tuple = (int(batch_index),)
+    if active_hash is not None:
+        key = key + (active_hash,)
+    if scope is not None:
+        return (scope,) + key
+    return key[0] if len(key) == 1 else key
 
 
 class BlockCache:
@@ -91,46 +123,58 @@ class BlockCache:
 class BatchedBackend(ExecutionBackend):
     """Streaming backend: O(batch) working set, LRU-cached blocks."""
 
-    def __init__(self, max_cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+    def __init__(
+        self,
+        max_cache_bytes: int = DEFAULT_CACHE_BYTES,
+        *,
+        cache: Optional[BlockCache] = None,
+        scope: Optional[str] = None,
+    ) -> None:
         super().__init__()
-        self.cache = BlockCache(max_cache_bytes)
+        # A fleet driver passes one shared `cache` to every molecule's
+        # backend plus a per-molecule `scope` widening the keys; the
+        # default remains a private cache with unscoped keys.
+        self.cache = cache if cache is not None else BlockCache(max_cache_bytes)
+        self.scope = scope
         self.profile.cache_max_bytes = self.cache.max_bytes
 
-    def basis_block(self, batch: GridBatch) -> np.ndarray:
+    def _lookup(self, batch: GridBatch, key: CacheKey, active=None) -> np.ndarray:
+        """Cached block for *key*, with hit/miss/eviction counters kept
+        per backend (not copied from the cache, which may be shared
+        across molecules — each molecule's profile must charge only its
+        own traffic)."""
         from repro.obs.tracer import obs_counter
 
-        block = self.cache.get(batch.index)
+        block = self.cache.get(key)
         if block is None:
             obs_counter("backend.cache.misses")
-            block = self._evaluate_block(batch)
-            self.cache.put(batch.index, block)
+            self.profile.cache_misses += 1
+            block = self._evaluate_block(batch, active=active)
+            evictions_before = self.cache.evictions
+            self.cache.put(key, block)
+            self.profile.cache_evictions += (
+                self.cache.evictions - evictions_before
+            )
         else:
             obs_counter("backend.cache.hits")
-        self._sync_cache_stats()
+            self.profile.cache_hits += 1
+        # Peak occupancy is a property of the (possibly shared) cache.
+        self.profile.cache_peak_bytes = self.cache.peak_bytes
         return block
 
-    def basis_block_active(self, batch: GridBatch) -> np.ndarray:
-        from repro.obs.tracer import obs_counter
+    def basis_block(self, batch: GridBatch) -> np.ndarray:
+        return self._lookup(batch, block_cache_key(batch.index, scope=self.scope))
 
+    def basis_block_active(self, batch: GridBatch) -> np.ndarray:
         pattern = self._require_pattern()
         # The active-set hash in the key makes compact entries
         # self-invalidating: a different pattern (tighter threshold,
         # new structure) can never alias a stale compact block.
-        key = (batch.index, pattern.active_hash(batch.index))
-        block = self.cache.get(key)
-        if block is None:
-            obs_counter("backend.cache.misses")
-            block = self._evaluate_block(
-                batch, active=pattern.active_functions[batch.index]
-            )
-            self.cache.put(key, block)
-        else:
-            obs_counter("backend.cache.hits")
-        self._sync_cache_stats()
-        return block
-
-    def _sync_cache_stats(self) -> None:
-        self.profile.cache_hits = self.cache.hits
-        self.profile.cache_misses = self.cache.misses
-        self.profile.cache_evictions = self.cache.evictions
-        self.profile.cache_peak_bytes = self.cache.peak_bytes
+        key = block_cache_key(
+            batch.index,
+            scope=self.scope,
+            active_hash=pattern.active_hash(batch.index),
+        )
+        return self._lookup(
+            batch, key, active=pattern.active_functions[batch.index]
+        )

@@ -55,9 +55,8 @@ class DeviceBackend(ExecutionBackend):
             table[b.point_indices] = self._evaluate_block(b)
         self._phi = DeviceBuffer("basis_values", table)
         self._weights = DeviceBuffer("weights", builder.grid.weights)
-        self.device.to_device(self._phi)
-        self.device.to_device(self._weights)
-        self._record_transfers()
+        self._to_device(self._phi)
+        self._to_device(self._weights)
 
     def _ndrange(self, n_groups: Optional[int] = None) -> NDRange:
         """One work-group per batch, items sized by the largest batch.
@@ -104,10 +103,24 @@ class DeviceBackend(ExecutionBackend):
         report = self.device.launch(kernel, ndrange or self._ndrange(), buffers)
         self.profile.device_launches += 1
         self.profile.device_modeled_seconds += report.total_time
-        self._record_transfers()
 
-    def _record_transfers(self) -> None:
-        self.profile.device_bytes_transferred = self.device.bytes_transferred
+    # Transfers are charged by delta, not by copying the device's
+    # absolute counter: the device may be shared across molecules (the
+    # fleet driver), and each molecule's profile must attribute only
+    # its own traffic.
+    def _to_device(self, buffer: DeviceBuffer) -> None:
+        before = self.device.bytes_transferred
+        self.device.to_device(buffer)
+        self.profile.device_bytes_transferred += (
+            self.device.bytes_transferred - before
+        )
+
+    def _from_device(self, buffer: DeviceBuffer) -> None:
+        before = self.device.bytes_transferred
+        self.device.from_device(buffer)
+        self.profile.device_bytes_transferred += (
+            self.device.bytes_transferred - before
+        )
 
     def basis_block(self, batch) -> np.ndarray:
         if self._phi is None:
@@ -123,8 +136,8 @@ class DeviceBackend(ExecutionBackend):
         pattern = builder.pattern
         p_buf = DeviceBuffer("p", p)
         out = DeviceBuffer("n", np.zeros(builder.grid.n_points))
-        self.device.to_device(p_buf)
-        self.device.to_device(out)
+        self._to_device(p_buf)
+        self._to_device(out)
         batches = builder.batches
 
         if pattern is None:
@@ -178,8 +191,7 @@ class DeviceBackend(ExecutionBackend):
             kernel, {"basis_values": self._phi, "p": p_buf, "n": out},
             ndrange=ndrange,
         )
-        self.device.from_device(out)
-        self._record_transfers()
+        self._from_device(out)
         return out.data
 
     def _potential_impl(self, v: np.ndarray) -> np.ndarray:
@@ -190,8 +202,8 @@ class DeviceBackend(ExecutionBackend):
         pattern = builder.pattern
         v_buf = DeviceBuffer("v", v)
         out = DeviceBuffer("h", np.zeros((nb, nb)))
-        self.device.to_device(v_buf)
-        self.device.to_device(out)
+        self._to_device(v_buf)
+        self._to_device(out)
         batches = builder.batches
 
         if pattern is None:
@@ -252,8 +264,7 @@ class DeviceBackend(ExecutionBackend):
             },
             ndrange=ndrange,
         )
-        self.device.from_device(out)
-        self._record_transfers()
+        self._from_device(out)
         return out.data
 
     def _dm_impl(
@@ -268,8 +279,8 @@ class DeviceBackend(ExecutionBackend):
         nb = builder.basis.n_basis
         h1_buf = DeviceBuffer("h1", np.asarray(h1))
         p1_buf = DeviceBuffer("p1", np.zeros((nb, nb)))
-        self.device.to_device(h1_buf)
-        self.device.to_device(p1_buf)
+        self._to_device(h1_buf)
+        self._to_device(p1_buf)
         result: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
         def body(bufs: Dict[str, DeviceBuffer]) -> None:
@@ -294,7 +305,6 @@ class DeviceBackend(ExecutionBackend):
             bytes_written_per_item=8.0,
         )
         self._launch(kernel, {"h1": h1_buf, "p1": p1_buf})
-        self.device.from_device(p1_buf)
-        self._record_transfers()
+        self._from_device(p1_buf)
         u, c1, _ = result["dm"]
         return u, c1, p1_buf.data

@@ -511,7 +511,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"serving with injected worker crashes "
               f"(rate={args.crash_rate}, seed={args.seed})")
-    pool = WorkerPool(store, n_workers=args.workers, fault_plan=plan)
+    if args.fleet is not None:
+        print(f"fleet mode: waves of up to {args.fleet} task(s) per worker "
+              f"share one execution substrate")
+    pool = WorkerPool(
+        store, n_workers=args.workers, fault_plan=plan, fleet=args.fleet
+    )
     report = pool.run_until_idle(max_steps=args.max_steps)
     print(report.summary())
     print()
@@ -818,6 +823,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--workers", type=int, default=2,
                          help="pool size (default: 2)")
+    p_serve.add_argument("--fleet", type=int, default=None,
+                         help="fleet mode: claim waves of up to N tasks per "
+                         "worker and run them through one shared substrate "
+                         "(bit-identical to sequential draining)")
     p_serve.add_argument("--max-steps", type=int, default=10_000,
                          help="scheduling-step budget before giving up")
     p_serve.add_argument("--crash-rate", type=float, default=0.0,

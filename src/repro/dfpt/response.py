@@ -122,6 +122,22 @@ class DFPTSolver:
 
     def solve_direction(self, direction: int) -> ResponseResult:
         """Run the CPSCF loop for one Cartesian field direction."""
+        steps = self.iter_direction(direction)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def iter_direction(self, direction: int):
+        """Generator form of :meth:`solve_direction`: one cycle per ``next()``.
+
+        Exactly :meth:`solve_direction`'s loop with a yield at every
+        cycle boundary, so a fleet driver can interleave CPSCF cycles
+        of different molecules without touching any single molecule's
+        floating-point sequence.  The converged :class:`ResponseResult`
+        is the generator's return value (``StopIteration.value``).
+        """
         if direction not in (0, 1, 2):
             raise ValueError(f"direction must be 0, 1 or 2, got {direction}")
         gs = self.gs
@@ -168,6 +184,7 @@ class DFPTSolver:
                 p1 = checkpoint  # restore: redo this cycle from scratch
                 restarts += 1
                 attempt += 1
+                yield iteration
                 continue
             attempt = 0
 
@@ -190,6 +207,7 @@ class DFPTSolver:
                     restarts=restarts,
                 )
             iteration += 1
+            yield iteration
 
         raise CPSCFConvergenceError(
             f"CPSCF direction {direction} did not converge in "

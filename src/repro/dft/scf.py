@@ -83,6 +83,9 @@ class SCFDriver:
         timer: Optional[PhaseTimer] = None,
         backend: Union[str, "ExecutionBackend", None] = None,
         verifier: Optional["Verifier"] = None,
+        basis: Optional[BasisSet] = None,
+        grid: Optional[IntegrationGrid] = None,
+        batches=None,
     ) -> None:
         self.structure = structure
         self.settings = settings or get_settings("light")
@@ -108,11 +111,19 @@ class SCFDriver:
             )
         self.n_electrons = n_electrons
 
-        self.basis = build_basis(structure)
-        self.grid = build_grid(structure, self.settings.grids, with_partition=True)
+        # A fleet driver may inject a shared basis/grid/batch substrate
+        # (built once per distinct geometry); construction is identical
+        # to building them here, so results are unaffected.
+        self.basis = basis if basis is not None else build_basis(structure)
+        self.grid = (
+            grid
+            if grid is not None
+            else build_grid(structure, self.settings.grids, with_partition=True)
+        )
         self.builder = MatrixBuilder(
             self.basis,
             self.grid,
+            batches=batches,
             backend=backend if backend is not None else self.settings.backend,
             screening_threshold=self.settings.screening_threshold,
         )
@@ -175,6 +186,28 @@ class SCFDriver:
             redoes it, so converged results are bit-exact with a
             fault-free run.
         """
+        steps = self.iter_cycles(external_field, fault_injector)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def iter_cycles(
+        self,
+        external_field: Optional[np.ndarray] = None,
+        fault_injector: Optional[CycleFaultInjector] = None,
+    ):
+        """Generator form of :meth:`run`: one SCF cycle per ``next()``.
+
+        The body is exactly :meth:`run`'s loop — same phase order, same
+        mixer pushes, same checkpoint/rollback — with a yield at every
+        cycle boundary, so a fleet driver can interleave the cycles of
+        several molecules (each molecule's floating-point sequence is
+        untouched, keeping the interleaved results bit-exact with
+        isolated runs).  The converged :class:`GroundState` is the
+        generator's return value (``StopIteration.value``).
+        """
         scf = self.settings.scf
         h_field = np.zeros_like(self._s)
         if external_field is not None:
@@ -226,6 +259,7 @@ class SCFDriver:
                     p = checkpoint
                     restarts += 1
                     attempt += 1
+                    yield iteration
                     continue
                 attempt = 0
 
@@ -290,6 +324,7 @@ class SCFDriver:
                     )
                 return gs
             iteration += 1
+            yield iteration
 
         raise SCFConvergenceError(
             f"SCF did not converge in {scf.max_iterations} iterations "

@@ -240,6 +240,138 @@ def sparse_emission(
     }
 
 
+def fleet_emission(
+    level: str = "minimal",
+    n_requests: int = 16,
+    n_distinct: int = 4,
+    backend: str = "device",
+) -> dict:
+    """Fleet-vs-sequential throughput; the ``BENCH_fleet.json`` document.
+
+    ``n_requests`` jobs over ``n_distinct`` H2 bond-length variants (a
+    screening-service shape: many near-duplicate small systems) run
+    twice: once sequentially — one
+    :meth:`~repro.core.simulator.PerturbationSimulator.run_physics` per
+    request — and once through the
+    :class:`~repro.fleet.driver.FleetDriver`.  Every per-request result
+    payload is asserted byte-identical between the two before any
+    number is reported: the benchmark never times a wrong answer.
+
+    The gated headline is ``model.molecules_per_second_speedup`` — the
+    deterministic device-model account (sequential modeled seconds of
+    all requests over the fleet's fused modeled seconds), composing the
+    physics-dedup factor with cross-molecule launch fusion.  Wall
+    measurements are quarantined under ``timings``.
+    """
+    from repro.atoms import hydrogen_molecule
+    from repro.config import RunSettings, get_settings
+    from repro.core import PerturbationSimulator
+    from repro.fleet import FleetDriver, fleet_tasks_from_requests
+    from repro.service.jobs import JobRequest, structure_from_dict
+    from repro.service.worker import result_payload, stable_result_bytes
+
+    if n_requests < 1 or n_distinct < 1 or n_distinct > n_requests:
+        raise ExperimentError(
+            f"need 1 <= n_distinct <= n_requests, got "
+            f"{n_distinct}/{n_requests}"
+        )
+    if backend != "device":
+        raise ExperimentError(
+            f"the fleet benchmark measures the fused device model; "
+            f"got backend {backend!r} (parity across all backends is the "
+            f"test suite's job)"
+        )
+    settings = get_settings(level, backend=backend)
+    requests = [
+        JobRequest(
+            hydrogen_molecule(bond_length=1.40 + 0.02 * (i % n_distinct)),
+            settings,
+            seed=i,
+        )
+        for i in range(n_requests)
+    ]
+    tasks = fleet_tasks_from_requests(requests, commit=f"bench-{BENCH_SEED}")
+
+    # Sequential reference: one isolated simulator per request.
+    sequential = {
+        "modeled_seconds": 0.0,
+        "launches": 0,
+        "bytes": 0,
+    }
+    reference_bytes: Dict[str, bytes] = {}
+    seq_start = time.perf_counter()
+    for task in tasks:
+        structure = structure_from_dict(task.payload["structure"])
+        run_settings = RunSettings.from_canonical_dict(task.payload["settings"])
+        sim = PerturbationSimulator(structure, run_settings)
+        result = sim.run_physics()
+        profile = result.backend_profile.as_dict()["device"]
+        sequential["modeled_seconds"] += profile["modeled_seconds"]
+        sequential["launches"] += profile["launches"]
+        sequential["bytes"] += profile["bytes_transferred"]
+        reference_bytes[task.key] = stable_result_bytes(
+            result_payload(task, structure, run_settings, result)
+        )
+    seq_wall = time.perf_counter() - seq_start
+
+    # Fleet run: shared tables, dedup groups, fused launches.
+    driver = FleetDriver()
+    fleet_start = time.perf_counter()
+    outcome = driver.run_tasks(tasks)
+    fleet_wall = time.perf_counter() - fleet_start
+    if outcome.errors:
+        raise ExperimentError(f"fleet run failed: {outcome.errors}")
+    for key, payload in outcome.results.items():
+        if stable_result_bytes(payload) != reference_bytes[key]:
+            raise ExperimentError(
+                f"fleet result for {key} diverged bitwise from the "
+                f"sequential reference"
+            )
+
+    stats = outcome.report.device
+    fused_seconds = stats["modeled"]["fused"]["modeled_seconds"]
+    model_speedup = (
+        sequential["modeled_seconds"] / fused_seconds
+        if fused_seconds > 0
+        else float("inf")
+    )
+    return {
+        "benchmark": "fleet",
+        "system": "h2-variants",
+        "level": level,
+        "backend": backend,
+        "n_sweeps": 1,
+        "n_requests": n_requests,
+        "n_distinct": n_distinct,
+        "groups": outcome.report.n_groups,
+        "rounds": outcome.report.rounds,
+        "registry": outcome.report.registry,
+        "substrates": outcome.report.substrates,
+        "launches": {
+            "sequential": sequential["launches"],
+            "fused": stats["launches"]["fused"],
+        },
+        "model": {
+            "sequential": {"modeled_seconds": sequential["modeled_seconds"]},
+            "fleet": {"modeled_seconds": fused_seconds},
+            "overhead_saved": dict(stats["modeled"]["overhead_saved"]),
+            "molecules_per_second_speedup": model_speedup,
+        },
+        "transfers": {
+            "sequential_bytes": sequential["bytes"],
+            "fleet_bytes": stats["bytes_transferred"],
+        },
+        "timings": {
+            "sequential_wall_seconds": seq_wall,
+            "fleet_wall_seconds": fleet_wall,
+            "wall_speedup": (
+                seq_wall / fleet_wall if fleet_wall > 0 else float("inf")
+            ),
+        },
+        "provenance": collect_provenance(seed=BENCH_SEED).as_dict(),
+    }
+
+
 def emission_for_baseline(baseline: dict) -> dict:
     """Re-run the emission that produced *baseline*, at its own parameters.
 
@@ -261,6 +393,23 @@ def emission_for_baseline(baseline: dict) -> dict:
                 "(n_units, threshold); regenerate it with the current benchmark"
             ) from None
         return sparse_emission(n_units, n_sweeps, threshold, level=level)
+    if kind == "fleet":
+        try:
+            n_requests = int(baseline["n_requests"])
+            n_distinct = int(baseline["n_distinct"])
+            backend = str(baseline["backend"])
+        except (KeyError, TypeError, ValueError):
+            raise ExperimentError(
+                "fleet baseline is missing its run parameters "
+                "(n_requests, n_distinct, backend); regenerate it with the "
+                "current benchmark"
+            ) from None
+        return fleet_emission(
+            level=level,
+            n_requests=n_requests,
+            n_distinct=n_distinct,
+            backend=backend,
+        )
     if kind != "backends":
         raise ExperimentError(f"unknown benchmark kind {kind!r} in baseline")
     return backend_emission(level, n_sweeps)

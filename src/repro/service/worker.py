@@ -163,6 +163,7 @@ class Worker:
         self.stats = WorkerStats()
         self.events: List[FaultEvent] = []
         self._claim_counter = 0
+        self._fleet_driver = None  # lazily built by fleet-mode waves
 
     def step(self, now: Optional[float] = None) -> Optional[str]:
         """Claim and process at most one task.
@@ -192,6 +193,10 @@ class Worker:
                 obs_event("worker_crash", worker=self.worker_id,
                           task=task.task_id)
                 return "crashed"
+        return self._process(task, now)
+
+    def _process(self, task: TaskRecord, now: Optional[float]) -> str:
+        """Run one already-claimed, crash-checked task to a terminal state."""
         self.store.start(task.task_id, self.worker_id, now=now)
         with obs_span(
             "service.task", category="service", worker=self.worker_id,
@@ -209,6 +214,111 @@ class Worker:
         self.stats.completed += 1
         obs_counter("service.tasks_completed")
         return "completed"
+
+    def step_fleet(
+        self, fleet_size: int, now: Optional[float] = None
+    ) -> List[str]:
+        """Claim up to *fleet_size* tasks and run them as one fleet wave.
+
+        Crash decisions are still drawn **per claim**, in claim order,
+        so a scheduled ``worker_crash`` at claim index k abandons the
+        k-th and every later task of the wave (exactly the partial-wave
+        loss a dying worker produces) while earlier tasks execute;
+        abandoned tasks are recovered by the store's lease expiry like
+        any crash.  Physics tasks run through a shared
+        :class:`~repro.fleet.driver.FleetDriver` (one wave = one fleet
+        run, byte-identical to sequential :meth:`step` results); other
+        runners fall back to sequential per-task execution.
+        """
+        claimed = self.store.claim(self.worker_id, limit=fleet_size, now=now)
+        outcomes: List[str] = []
+        survivors: List[TaskRecord] = []
+        crashed = False
+        for task in claimed:
+            self.stats.claimed += 1
+            self._claim_counter += 1
+            obs_counter("service.tasks_claimed")
+            if crashed:
+                outcomes.append("crashed")  # abandoned with the worker
+                continue
+            if self.fault_plan is not None:
+                ev = self.fault_plan.worker_fault(
+                    f"worker:{self.worker_id}",
+                    self._claim_counter - 1,
+                    attempt=task.attempts - 1,
+                )
+                if ev is not None:
+                    self.events.append(ev)
+                    self.stats.crashes += 1
+                    obs_counter("service.worker_crashes")
+                    obs_event("worker_crash", worker=self.worker_id,
+                              task=task.task_id)
+                    crashed = True
+                    outcomes.append("crashed")
+                    continue
+            survivors.append(task)
+        if not survivors:
+            return outcomes
+        if self.runner is not run_physics_task:
+            outcomes.extend(self._process(t, now) for t in survivors)
+            return outcomes
+        outcomes.extend(self._run_wave(survivors, now))
+        return outcomes
+
+    def _run_wave(
+        self, tasks: List[TaskRecord], now: Optional[float]
+    ) -> List[str]:
+        """Run one wave of physics tasks through the shared fleet driver."""
+        from repro.fleet import FleetDriver, FleetTask
+
+        if self._fleet_driver is None:
+            # Persist across waves: registered basis tables outlive one
+            # wave, so a long-lived worker amortizes them fleet to fleet.
+            self._fleet_driver = FleetDriver()
+        for task in tasks:
+            self.store.start(task.task_id, self.worker_id, now=now)
+        fleet_tasks = [
+            FleetTask(key=t.key, payload=t.payload, task_id=t.task_id)
+            for t in tasks
+        ]
+        with obs_span(
+            "service.fleet", category="service", worker=self.worker_id,
+            n_tasks=len(tasks),
+        ):
+            try:
+                outcome = self._fleet_driver.run_tasks(fleet_tasks)
+            except Exception as exc:  # noqa: BLE001 — driver error requeues all
+                outcomes = []
+                for task in tasks:
+                    self.store.fail(
+                        task.task_id, self.worker_id, str(exc), now=now
+                    )
+                    self.stats.failed += 1
+                    obs_counter("service.tasks_failed")
+                    outcomes.append("failed")
+                return outcomes
+        outcomes = []
+        for task in tasks:
+            result = outcome.results.get(task.key)
+            if result is not None:
+                self.store.heartbeat(task.task_id, self.worker_id, now=now)
+                self.store.complete(
+                    task.task_id, self.worker_id, result, now=now
+                )
+                self.stats.completed += 1
+                obs_counter("service.tasks_completed")
+                outcomes.append("completed")
+            else:
+                self.store.fail(
+                    task.task_id,
+                    self.worker_id,
+                    outcome.errors.get(task.key, "fleet group failed"),
+                    now=now,
+                )
+                self.stats.failed += 1
+                obs_counter("service.tasks_failed")
+                outcomes.append("failed")
+        return outcomes
 
 
 @dataclass
@@ -240,6 +350,10 @@ class WorkerPool:
     clock by ``dt`` and first expires stale leases, so tasks abandoned
     by crashed workers are requeued and retried *within* one
     :meth:`run_until_idle` call.
+
+    With ``fleet=N`` each worker step claims up to N tasks and runs
+    them as one fleet wave (:meth:`Worker.step_fleet`) instead of one
+    task at a time — same results byte for byte, amortized substrate.
     """
 
     def __init__(
@@ -251,11 +365,15 @@ class WorkerPool:
         fault_plan: Optional[FaultPlan] = None,
         start_time: Optional[float] = None,
         dt: float = 1.0,
+        fleet: Optional[int] = None,
     ) -> None:
         if n_workers < 1:
             raise ServiceError(f"need >= 1 worker, got {n_workers}")
         if dt <= 0:
             raise ServiceError(f"dt must be > 0, got {dt}")
+        if fleet is not None and fleet < 1:
+            raise ServiceError(f"fleet size must be >= 1, got {fleet}")
+        self.fleet = fleet
         self.store = store
         self.workers = [
             Worker(store, f"w{i}", runner=runner, fault_plan=fault_plan)
@@ -285,7 +403,10 @@ class WorkerPool:
             self.now += self.dt
             self.store.expire_leases(now=self.now)
             for worker in self.workers:
-                worker.step(now=self.now)
+                if self.fleet is not None:
+                    worker.step_fleet(self.fleet, now=self.now)
+                else:
+                    worker.step(now=self.now)
         for worker in self.workers:
             report.completed += worker.stats.completed
             report.failed += worker.stats.failed

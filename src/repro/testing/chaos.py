@@ -187,6 +187,7 @@ def run_service_chaos(
     store_path=None,
     lease_seconds: float = 2.0,
     max_steps: int = 10_000,
+    fleet: Optional[int] = None,
 ):
     """Service-layer chaos: seeded worker crashes vs a fault-free run.
 
@@ -197,6 +198,11 @@ def run_service_chaos(
     provenance-stable result bytes key by key.  Deterministic in
     ``seed``; ``runner`` lets tests substitute a cheap stub for the
     real physics runner.
+
+    ``fleet=N`` puts only the **faulted** pool into fleet mode (waves
+    of up to N tasks through one shared substrate) while the reference
+    stays sequential — so ``bit_exact`` then also proves fleet
+    execution under crashes changes no result bytes vs task-at-a-time.
     """
     from repro.config import get_settings
     from repro.service import (
@@ -215,10 +221,15 @@ def run_service_chaos(
     if schedule is None:
         schedule = [ScheduledFault("worker_crash", call_index=0, site="worker:w0")]
 
-    def _drain(store: StateStore, plan: Optional[FaultPlan]):
+    def _drain(
+        store: StateStore,
+        plan: Optional[FaultPlan],
+        fleet_size: Optional[int] = None,
+    ):
         submit_batch(store, requests, commit=f"chaos-{seed}", now=0.0)
         pool = WorkerPool(
-            store, n_workers=n_workers, runner=runner, fault_plan=plan
+            store, n_workers=n_workers, runner=runner, fault_plan=plan,
+            fleet=fleet_size,
         )
         report = pool.run_until_idle(max_steps=max_steps)
         payloads = {
@@ -230,7 +241,7 @@ def run_service_chaos(
     _, reference = _drain(StateStore(lease_seconds=lease_seconds), None)
     plan = FaultPlan(seed=seed, rates=rates, schedule=schedule)
     faulted_store = StateStore(store_path, lease_seconds=lease_seconds)
-    pool_report, payloads = _drain(faulted_store, plan)
+    pool_report, payloads = _drain(faulted_store, plan, fleet_size=fleet)
 
     return ServiceChaosReport(
         seed=seed,

@@ -41,6 +41,10 @@ AUDITED_MODULES = (
     "repro.utils.timing",
     "repro.runtime.trace",
     "repro.grids.sparsity",
+    "repro.fleet",
+    "repro.fleet.driver",
+    "repro.fleet.device",
+    "repro.fleet.shared",
 )
 
 

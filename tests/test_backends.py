@@ -242,6 +242,70 @@ class TestBlockCache:
             BlockCache(max_bytes=-1)
 
 
+class TestSharedCacheAcrossMolecules:
+    """One BlockCache serving several molecules via scoped LRU keys."""
+
+    def _builder(self, structure, settings, backend):
+        return MatrixBuilder(
+            build_basis(structure),
+            build_grid(structure, settings.grids, with_partition=True),
+            backend=backend,
+        )
+
+    def test_scoped_keys_stay_disjoint_and_bit_exact(self, minimal_settings):
+        shared = BlockCache(max_bytes=64 << 20)
+        builders = {}
+        for scope, structure in (
+            ("mol-a", hydrogen_molecule(bond_length=1.40)),
+            ("mol-b", hydrogen_molecule(bond_length=1.60)),
+        ):
+            builders[scope] = self._builder(
+                structure,
+                minimal_settings,
+                BatchedBackend(cache=shared, scope=scope),
+            )
+        outputs = {}
+        for scope, builder in builders.items():
+            nb = builder.basis.n_basis
+            # Twice: the second pass must hit the shared cache under
+            # this molecule's own scoped keys, never its neighbour's.
+            outputs[scope] = [
+                density_on_grid(builder, np.eye(nb)) for _ in range(2)
+            ]
+        for scope, builder in builders.items():
+            private = self._builder(
+                builder.grid.structure,
+                minimal_settings,
+                BatchedBackend(),
+            )
+            nb = private.basis.n_basis
+            reference = density_on_grid(private, np.eye(nb))
+            for pass_result in outputs[scope]:
+                assert np.array_equal(pass_result, reference)
+
+    def test_per_backend_counter_attribution(self, minimal_settings):
+        """Shared-cache totals split exactly across the molecules'
+        profiles (the fleet per-molecule attribution contract)."""
+        shared = BlockCache(max_bytes=64 << 20)
+        backends = {}
+        for scope, bond in (("mol-a", 1.40), ("mol-b", 1.60)):
+            backend = BatchedBackend(cache=shared, scope=scope)
+            builder = self._builder(
+                hydrogen_molecule(bond_length=bond), minimal_settings, backend
+            )
+            nb = builder.basis.n_basis
+            for _ in range(2):
+                density_on_grid(builder, np.eye(nb))
+            backends[scope] = backend
+        hits = sum(b.profile.cache_hits for b in backends.values())
+        misses = sum(b.profile.cache_misses for b in backends.values())
+        assert hits == shared.hits > 0
+        assert misses == shared.misses > 0
+        for backend in backends.values():
+            assert backend.profile.cache_hits > 0
+            assert backend.profile.cache_misses > 0
+
+
 class TestBackendProfile:
     def test_phase_counters(self, minimal_settings):
         h2 = hydrogen_molecule()

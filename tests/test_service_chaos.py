@@ -207,3 +207,65 @@ class TestPhysicsPayloadStability:
         assert doc["molecule"] == "H2"
         assert "timings" not in doc
         assert len(doc["polarizability"]) == 3
+
+
+class TestFleetCrashRecovery:
+    """Fleet-mode waves under injected crashes: partial-wave loss is
+    recovered by lease expiry, and the drained bytes match a pool that
+    never ran in fleet mode (the reference stays sequential)."""
+
+    def test_crash_mid_wave_requeues_only_unfinished_tasks(self):
+        report = run_service_chaos(
+            requests=jobs(4),
+            seed=13,
+            n_workers=1,
+            fleet=4,
+            rates=FaultRates(),  # schedule-only: one mid-wave crash
+            schedule=[ScheduledFault("worker_crash", call_index=2,
+                                     site="worker:w0")],
+            runner=stub_runner,
+        )
+        assert report.crashes == 1
+        assert report.completed == 4
+        assert report.errored == 0
+        # Tasks claimed before the crash completed on their first
+        # attempt; the abandoned remainder of the wave took a second.
+        assert sorted(report.attempts.values()) == [1, 1, 2, 2]
+        assert report.bit_exact, report.summary()
+
+    def test_random_crash_rates_converge_bit_exact_in_fleet_mode(self):
+        report = run_service_chaos(
+            requests=jobs(5, max_retries=6),
+            seed=21,
+            n_workers=2,
+            fleet=3,
+            rates=FaultRates(worker_crash=0.4),
+            schedule=[],
+            runner=stub_runner,
+        )
+        assert report.errored == 0
+        assert report.completed == 5
+        assert report.bit_exact, report.summary()
+
+    def test_real_physics_fleet_wave_survives_crash_byte_stable(self):
+        """End to end on real physics: a crashed fleet wave is retried
+        through the shared-substrate driver and converges to the same
+        bytes as a sequential, fault-free pool."""
+        s = get_settings("minimal")
+        report = run_service_chaos(
+            requests=[
+                JobRequest("h2", s.with_scf(max_iterations=20 + i))
+                for i in range(2)
+            ],
+            seed=2023,
+            n_workers=1,
+            fleet=2,
+            rates=FaultRates(),
+            schedule=[ScheduledFault("worker_crash", call_index=0,
+                                     site="worker:w0")],
+            runner=None,  # the real physics runner, fleet waves
+        )
+        assert report.crashes == 1
+        assert report.completed == 2
+        assert report.errored == 0
+        assert report.bit_exact, report.summary()
