@@ -3,8 +3,8 @@
 
 PYTHON ?= python
 
-.PHONY: test chaos smoke bench-smoke bench-check docs-check trace analyze \
-	history-check service-check fleet-check verify
+.PHONY: test chaos smoke bench-smoke bench-check docs-check docs trace \
+	analyze history-check service-check fleet-check tune-check verify
 
 # Tier-1: the fast default profile (chaos sweeps deselected via addopts).
 test:
@@ -27,6 +27,8 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sparse.py --quick
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py --quick \
 		--output /tmp/BENCH_fleet_quick.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_tuner.py --quick \
+		--output /tmp/BENCH_tuner_quick.json
 
 # Perf-regression gate: re-run each benchmark at its committed
 # baseline's own parameters and compare metric-by-metric (exact bands
@@ -39,14 +41,21 @@ bench-check:
 		--history BENCH_history.jsonl
 
 # Documentation gate: every doctest in the observability-facing modules
-# must run, and every audited public object must carry a docstring.
+# must run, every audited public object must carry a docstring, and the
+# generated CLI/settings reference (docs/CLI.md, docs/SETTINGS.md) must
+# match what the code actually exposes.
 docs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules -q \
 		src/repro/obs src/repro/service src/repro/utils/timing.py \
 		src/repro/utils/balance.py src/repro/utils/artifacts.py \
 		src/repro/runtime/trace.py src/repro/testing/docs.py \
-		src/repro/grids/sparsity.py src/repro/fleet
+		src/repro/grids/sparsity.py src/repro/fleet src/repro/tune
 	PYTHONPATH=src $(PYTHON) tools/check_docstrings.py
+	PYTHONPATH=src $(PYTHON) tools/gen_cli_docs.py --check
+
+# Regenerate the committed CLI/settings reference from the code.
+docs:
+	PYTHONPATH=src $(PYTHON) tools/gen_cli_docs.py
 
 # Span trace of a real physics run, openable at https://ui.perfetto.dev.
 # --force: the artifacts are regenerated on every invocation.
@@ -91,9 +100,17 @@ fleet-check:
 	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_fleet.json \
 		--history BENCH_history.jsonl
 
+# Auto-tuner contract: the decision determinism/round-trip/never-slower
+# property suite plus the tuned-vs-default regression gate against the
+# committed baseline (its own lineage in BENCH_history.jsonl).
+tune-check:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_tune.py
+	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_tuner.json \
+		--history BENCH_history.jsonl
+
 # Physics-invariant + golden + differential-conformance check on H2,
-# plus the perf-regression, documentation, history-trend, service and
-# fleet gates (all tier-1 sized).  `python -m repro verify` (no args)
-# covers both reference molecules.
-verify: bench-check docs-check history-check service-check fleet-check
+# plus the perf-regression, documentation, history-trend, service,
+# fleet and tuner gates (all tier-1 sized).  `python -m repro verify`
+# (no args) covers both reference molecules.
+verify: bench-check docs-check history-check service-check fleet-check tune-check
 	PYTHONPATH=src $(PYTHON) -m repro verify --molecule h2

@@ -32,6 +32,7 @@ from repro.obs.analyze.comms import (
     comm_matrix,
     render_comm_matrix,
     render_scheme_costs,
+    scheme_cost_seconds,
     scheme_cost_table,
 )
 from repro.obs.analyze.diff import Contribution, RunDiff, diff_timelines
@@ -51,6 +52,7 @@ from repro.obs.analyze.imbalance import (
     phase_imbalances,
     render_mapping_attributions,
     render_phase_imbalances,
+    strategy_imbalance_factors,
 )
 from repro.obs.analyze.scaling import (
     ScalingPoint,
@@ -96,9 +98,11 @@ __all__ = [
     "render_comm_matrix",
     "render_mapping_attributions",
     "render_phase_imbalances",
+    "strategy_imbalance_factors",
     "render_scaling",
     "render_scheme_costs",
     "rolling_baseline",
+    "scheme_cost_seconds",
     "scheme_cost_table",
     "strong_scaling",
     "weak_scaling",

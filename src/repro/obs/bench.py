@@ -372,6 +372,102 @@ def fleet_emission(
     }
 
 
+def tuner_emission(
+    level: str = "minimal",
+    n_ranks: int = 4,
+    budget: int = 2,
+    cost_model=None,
+) -> dict:
+    """Tuned-vs-default comparison; the ``BENCH_tuner.json`` document.
+
+    Runs the full closed loop (:func:`repro.tune.tuner.tune`) over two
+    committed workloads — the water molecule (the backend benchmark's
+    system) and a short polyethylene chain (the screening benchmark's
+    shape) — and records each :class:`~repro.tune.decision.TunerDecision`
+    verbatim.  The gated headlines per workload:
+
+    * ``decision.candidates[].predicted/measured.modeled_seconds`` —
+      deterministic cost-model floats (relative band, any cost-model
+      change trips the gate and names the tuner);
+    * ``tuned_speedup_vs_default`` / ``predicted_speedup_vs_default``
+      — floor bands: the chosen config must stay no slower than the
+      hand-picked default.
+
+    The loop's wall time is quarantined under ``timings``; everything
+    else is deterministic, so the emission is byte-stable.
+
+    ``cost_model`` is injectable for gate-liveness testing (a perturbed
+    model must make ``make tune-check`` fail).
+    """
+    from repro.atoms import polyethylene, water
+    from repro.config import get_settings
+    from repro.tune.costmodel import DEFAULT_COST_MODEL
+    from repro.tune.tuner import tune
+
+    if n_ranks < 1:
+        raise ExperimentError(f"need >= 1 rank, got {n_ranks}")
+    if budget < 1:
+        raise ExperimentError(
+            f"the tuner benchmark needs a positive trial budget, got {budget}"
+        )
+    model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    settings = get_settings(level)
+    workloads = {
+        "water": water(),
+        "polyethylene4": polyethylene(4),
+    }
+    report: dict = {
+        "benchmark": "tuner",
+        "level": level,
+        "n_sweeps": 1,  # one seeded sweep per measured trial
+        "n_ranks": n_ranks,
+        "budget": budget,
+        "workloads": {},
+        "timings": {},
+        "provenance": collect_provenance(seed=BENCH_SEED).as_dict(),
+    }
+    for name, structure in workloads.items():
+        wall_start = time.perf_counter()
+        decision = tune(
+            structure,
+            settings,
+            n_ranks=n_ranks,
+            budget=budget,
+            cost_model=model,
+        )
+        wall = time.perf_counter() - wall_start
+        doc = decision.as_dict()
+        timings = doc.pop("timings")
+        chosen = decision.chosen_outcome
+        default = decision.default_outcome
+        report["workloads"][name] = {
+            "decision": doc,
+            # Absolute modeled costs gate under the relative band: a
+            # uniform cost-model perturbation cancels out of every
+            # speedup ratio but not out of these.
+            "chosen_cost": {
+                "predicted": {"modeled_seconds": chosen.predicted_seconds},
+                "measured": (
+                    None
+                    if chosen.measured_seconds is None
+                    else {"modeled_seconds": chosen.measured_seconds}
+                ),
+            },
+            "default_cost": {
+                "predicted": {"modeled_seconds": default.predicted_seconds},
+                "measured": (
+                    None
+                    if default.measured_seconds is None
+                    else {"modeled_seconds": default.measured_seconds}
+                ),
+            },
+            "tuned_speedup_vs_default": decision.measured_speedup,
+            "predicted_speedup_vs_default": decision.predicted_speedup,
+        }
+        report["timings"][name] = dict(timings, wall_seconds=wall)
+    return report
+
+
 def emission_for_baseline(baseline: dict) -> dict:
     """Re-run the emission that produced *baseline*, at its own parameters.
 
@@ -410,6 +506,16 @@ def emission_for_baseline(baseline: dict) -> dict:
             n_distinct=n_distinct,
             backend=backend,
         )
+    if kind == "tuner":
+        try:
+            n_ranks = int(baseline["n_ranks"])
+            budget = int(baseline["budget"])
+        except (KeyError, TypeError, ValueError):
+            raise ExperimentError(
+                "tuner baseline is missing its run parameters "
+                "(n_ranks, budget); regenerate it with the current benchmark"
+            ) from None
+        return tuner_emission(level=level, n_ranks=n_ranks, budget=budget)
     if kind != "backends":
         raise ExperimentError(f"unknown benchmark kind {kind!r} in baseline")
     return backend_emission(level, n_sweeps)

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import ServiceError
 from repro.obs import obs_counter, obs_event, obs_span
@@ -354,6 +354,9 @@ class WorkerPool:
     With ``fleet=N`` each worker step claims up to N tasks and runs
     them as one fleet wave (:meth:`Worker.step_fleet`) instead of one
     task at a time — same results byte for byte, amortized substrate.
+    ``fleet="auto"`` delegates the wave size to a per-pool
+    :class:`repro.tune.waves.WavePlanner`: each scheduling step claims
+    the model-tuned wave for whatever is waiting.
     """
 
     def __init__(
@@ -365,13 +368,22 @@ class WorkerPool:
         fault_plan: Optional[FaultPlan] = None,
         start_time: Optional[float] = None,
         dt: float = 1.0,
-        fleet: Optional[int] = None,
+        fleet: Union[int, str, None] = None,
     ) -> None:
         if n_workers < 1:
             raise ServiceError(f"need >= 1 worker, got {n_workers}")
         if dt <= 0:
             raise ServiceError(f"dt must be > 0, got {dt}")
-        if fleet is not None and fleet < 1:
+        self._planner = None
+        if fleet == "auto":
+            from repro.tune.waves import WavePlanner
+
+            self._planner = WavePlanner()
+        elif isinstance(fleet, str):
+            raise ServiceError(
+                f"fleet must be a wave size or 'auto', got {fleet!r}"
+            )
+        elif fleet is not None and fleet < 1:
             raise ServiceError(f"fleet size must be >= 1, got {fleet}")
         self.fleet = fleet
         self.store = store
@@ -403,7 +415,11 @@ class WorkerPool:
             self.now += self.dt
             self.store.expire_leases(now=self.now)
             for worker in self.workers:
-                if self.fleet is not None:
+                if self._planner is not None:
+                    worker.step_fleet(
+                        self._planner.plan(self.store), now=self.now
+                    )
+                elif self.fleet is not None:
                     worker.step_fleet(self.fleet, now=self.now)
                 else:
                     worker.step(now=self.now)

@@ -45,6 +45,12 @@ AUDITED_MODULES = (
     "repro.fleet.driver",
     "repro.fleet.device",
     "repro.fleet.shared",
+    "repro.tune",
+    "repro.tune.space",
+    "repro.tune.costmodel",
+    "repro.tune.decision",
+    "repro.tune.tuner",
+    "repro.tune.waves",
 )
 
 
@@ -58,10 +64,19 @@ def missing_docstrings(module_names=AUDITED_MODULES) -> List[str]:
     Covers the module itself, its public classes and functions defined
     in that module (not re-exports), and public methods of those
     classes.  An empty list means the contract holds.
+
+    Every audited module is visited even when an earlier one fails to
+    import — one run reports the *complete* set of offenders (an
+    unimportable module is itself an offender), instead of stopping at
+    the first broken module and hiding the rest.
     """
     offenders: List[str] = []
     for module_name in module_names:
-        module = importlib.import_module(module_name)
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as exc:  # noqa: BLE001 — record and keep auditing
+            offenders.append(f"{module_name} (import failed: {exc})")
+            continue
         if not inspect.getdoc(module):
             offenders.append(module_name)
         for name, obj in vars(module).items():

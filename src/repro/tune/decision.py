@@ -1,0 +1,249 @@
+"""The tuner's durable artifact: :class:`TunerDecision` (DESIGN §15.3).
+
+One JSON document per tuning run recording the searched space, the
+predicted and measured cost of every short-listed candidate, the chosen
+configuration and its provenance — the same
+measure-then-record discipline every other perf artifact in this repo
+follows.  Wall-clock seconds of the tuning itself are quarantined under
+``timings`` (exactly like ``repro.obs.bench.stable_view``), so
+:meth:`TunerDecision.stable_bytes` is byte-identical across reruns of
+the same workload + history — the determinism contract the hypothesis
+suite pins.
+
+>>> from repro.tune.space import TunedConfig
+>>> cfg = TunedConfig()
+>>> d = TunerDecision(
+...     fingerprint="wf-x", space_size=2,
+...     candidates=[CandidateOutcome(config=cfg, predicted_seconds=1.0)],
+...     chosen=cfg, default=cfg,
+... )
+>>> clone = TunerDecision.from_dict(d.as_dict())
+>>> clone.fingerprint, clone.stable_bytes() == d.stable_bytes()
+('wf-x', True)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.config import RunSettings
+from repro.tune.space import TunedConfig, TuningError
+
+
+@dataclass
+class CandidateOutcome:
+    """One short-listed candidate: predicted and (maybe) measured cost."""
+
+    config: TunedConfig
+    predicted_seconds: float
+    measured_seconds: Optional[float] = None
+    source: str = "model"  # "model" | "trial" | "warm-start"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot; deterministic floats only."""
+        return {
+            "config": self.config.as_dict(),
+            "predicted": {"modeled_seconds": self.predicted_seconds},
+            "measured": (
+                None
+                if self.measured_seconds is None
+                else {"modeled_seconds": self.measured_seconds}
+            ),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CandidateOutcome":
+        """Rebuild one outcome from :meth:`as_dict` output."""
+        measured = data.get("measured")
+        return cls(
+            config=TunedConfig.from_dict(data["config"]),
+            predicted_seconds=float(data["predicted"]["modeled_seconds"]),
+            measured_seconds=(
+                None if measured is None else float(measured["modeled_seconds"])
+            ),
+            source=str(data.get("source", "model")),
+        )
+
+
+@dataclass
+class TunerDecision:
+    """Everything one closed-loop tuning run decided, and why."""
+
+    fingerprint: str = ""
+    workload: Dict[str, Any] = field(default_factory=dict)
+    space_size: int = 0
+    candidates: List[CandidateOutcome] = field(default_factory=list)
+    chosen: TunedConfig = field(default_factory=TunedConfig)
+    default: TunedConfig = field(default_factory=TunedConfig)
+    warm_started: bool = False
+    machine: str = ""
+    n_ranks: int = 0
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def _outcome_for(self, config: TunedConfig) -> Optional[CandidateOutcome]:
+        for cand in self.candidates:
+            if cand.config == config:
+                return cand
+        return None
+
+    @property
+    def chosen_outcome(self) -> CandidateOutcome:
+        """The chosen candidate's cost record."""
+        out = self._outcome_for(self.chosen)
+        if out is None:
+            raise TuningError("decision does not record its chosen candidate")
+        return out
+
+    @property
+    def default_outcome(self) -> CandidateOutcome:
+        """The default (hand-picked) candidate's cost record."""
+        out = self._outcome_for(self.default)
+        if out is None:
+            raise TuningError("decision does not record the default candidate")
+        return out
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Predicted default/chosen cost ratio (>= 1 by construction)."""
+        chosen = self.chosen_outcome.predicted_seconds
+        return self.default_outcome.predicted_seconds / chosen if chosen else 1.0
+
+    @property
+    def measured_speedup(self) -> float:
+        """Measured default/chosen cost ratio (>= 1 by construction).
+
+        Falls back to the predicted ratio when the measured stage was
+        skipped (budget 0 or model-only workloads).
+        """
+        chosen = self.chosen_outcome.measured_seconds
+        default = self.default_outcome.measured_seconds
+        if chosen is None or default is None or chosen == 0.0:
+            return self.predicted_speedup
+        return default / chosen
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot of the whole decision."""
+        return {
+            "fingerprint": self.fingerprint,
+            "workload": dict(self.workload),
+            "space_size": int(self.space_size),
+            "candidates": [c.as_dict() for c in self.candidates],
+            "chosen": self.chosen.as_dict(),
+            "default": self.default.as_dict(),
+            "predicted_speedup_vs_default": self.predicted_speedup,
+            "measured_speedup_vs_default": self.measured_speedup,
+            "warm_started": self.warm_started,
+            "machine": self.machine,
+            "n_ranks": int(self.n_ranks),
+            "provenance": dict(self.provenance),
+            "timings": dict(self.timings),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TunerDecision":
+        """Rebuild a decision from :meth:`as_dict` output."""
+        return cls(
+            fingerprint=str(data.get("fingerprint", "")),
+            workload=dict(data.get("workload", {})),
+            space_size=int(data.get("space_size", 0)),
+            candidates=[
+                CandidateOutcome.from_dict(c)
+                for c in data.get("candidates", [])
+            ],
+            chosen=TunedConfig.from_dict(data["chosen"]),
+            default=TunedConfig.from_dict(data["default"]),
+            warm_started=bool(data.get("warm_started", False)),
+            machine=str(data.get("machine", "")),
+            n_ranks=int(data.get("n_ranks", 0)),
+            provenance=dict(data.get("provenance", {})),
+            timings=dict(data.get("timings", {})),
+        )
+
+    def stable_bytes(self) -> bytes:
+        """Canonical bytes with every ``timings`` subtree removed.
+
+        Two tuning runs over the same workload fingerprint and the same
+        history produce identical stable bytes — the determinism
+        contract ``tests/test_tune.py`` pins with hypothesis.
+        """
+        from repro.obs.bench import stable_view
+
+        return json.dumps(stable_view(self.as_dict()), sort_keys=True).encode()
+
+    def to_json(self) -> str:
+        """Full serialized decision (timings included), sorted keys."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the JSON artifact; returns the path written."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TunerDecision":
+        """Read a decision artifact back (for ``repro tune --replay``)."""
+        p = Path(path)
+        if not p.exists():
+            raise TuningError(f"no decision artifact at {p}")
+        try:
+            return cls.from_dict(json.loads(p.read_text()))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            raise TuningError(
+                f"{p} is not a TunerDecision artifact"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def apply(self, settings: RunSettings) -> RunSettings:
+        """The effective settings of the chosen configuration."""
+        return self.chosen.apply(settings)
+
+    def render_ascii(self) -> str:
+        """Human-readable decision table (candidates, costs, winner)."""
+        from repro.utils.reports import TableFormatter
+
+        lines = [
+            f"tuner decision [{self.fingerprint}]",
+            f"space: {self.space_size} candidate configuration(s), "
+            f"{len(self.candidates)} short-listed "
+            f"({'warm-started, ' if self.warm_started else ''}"
+            f"machine {self.machine or '?'}, {self.n_ranks} ranks)",
+        ]
+        table = TableFormatter(
+            ["configuration", "predicted", "measured", "source", ""],
+            title="short-listed candidates (modeled seconds, lower is better)",
+        )
+        for cand in self.candidates:
+            measured = (
+                "-" if cand.measured_seconds is None
+                else f"{cand.measured_seconds:.3e}"
+            )
+            marker = ""
+            if cand.config == self.chosen:
+                marker = "<= chosen"
+            elif cand.config == self.default:
+                marker = "(default)"
+            table.add_row(
+                [
+                    cand.config.describe(),
+                    f"{cand.predicted_seconds:.3e}",
+                    measured,
+                    cand.source,
+                    marker,
+                ]
+            )
+        lines += ["", table.render()]
+        lines += [
+            "",
+            f"chosen: {self.chosen.describe()}",
+            f"predicted speedup vs default: {self.predicted_speedup:.2f}x; "
+            f"measured {self.measured_speedup:.2f}x",
+        ]
+        return "\n".join(lines)
