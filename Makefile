@@ -4,7 +4,8 @@
 PYTHON ?= python
 
 .PHONY: test chaos smoke bench-smoke bench-check docs-check docs trace \
-	analyze history-check service-check fleet-check tune-check verify
+	analyze history-check service-check fleet-check tune-check slo-check \
+	verify
 
 # Tier-1: the fast default profile (chaos sweeps deselected via addopts).
 test:
@@ -108,9 +109,18 @@ tune-check:
 	PYTHONPATH=src $(PYTHON) -m repro bench-check --baseline BENCH_tuner.json \
 		--history BENCH_history.jsonl
 
+# Service-telemetry contract: the rollup/alert/health property suite
+# plus the deterministic SLO scenario gated against its committed
+# baseline (steady run fires zero alerts; the seeded worker_crash
+# chaos run fires the crash-rate alert byte-stably).
+slo-check:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_telemetry.py
+	PYTHONPATH=src $(PYTHON) -m repro slo --gate BENCH_slo.json
+
 # Physics-invariant + golden + differential-conformance check on H2,
 # plus the perf-regression, documentation, history-trend, service,
-# fleet and tuner gates (all tier-1 sized).  `python -m repro verify`
-# (no args) covers both reference molecules.
-verify: bench-check docs-check history-check service-check fleet-check tune-check
+# fleet, tuner and telemetry gates (all tier-1 sized).
+# `python -m repro verify` (no args) covers both reference molecules.
+verify: bench-check docs-check history-check service-check fleet-check \
+		tune-check slo-check
 	PYTHONPATH=src $(PYTHON) -m repro verify --molecule h2

@@ -612,10 +612,23 @@ def _print_service_result(result) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import (
+        AlertEngine,
+        TelemetrySink,
+        render_alerts,
+        rollup,
+        telemetry_path_for,
+        window_origin,
+    )
     from repro.runtime.faults import FaultPlan, FaultRates
     from repro.service import WorkerPool
 
     store = _open_store(args)
+    # Every serve drain is telemetered: lifecycle transitions stream
+    # into the sidecar journal next to the statestore journal.
+    sink = TelemetrySink(telemetry_path_for(args.store), fresh=args.fresh)
+    sink.write_provenance(seed=args.seed)
+    store.attach_telemetry(sink)
     plan = None
     if args.crash_rate > 0.0:
         plan = FaultPlan(
@@ -634,14 +647,143 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     report = pool.run_until_idle(max_steps=args.max_steps)
     print(report.summary())
+    windows = rollup(
+        sink.events, args.slo_window,
+        t0=window_origin(sink.events, args.slo_window),
+    )
+    alerts = AlertEngine().evaluate(windows, sink=sink)
+    print(f"telemetry: {len(sink.events)} event(s) -> {sink.path}; "
+          f"{len(windows)} rollup window(s) at {args.slo_window:g}s")
+    if alerts:
+        print(render_alerts(alerts))
+    if args.trace:
+        from repro.obs import write_chrome_trace
+        from repro.obs.report import collect_provenance
+
+        trace_path = prepare_artifact_path(args.trace, force=args.force)
+        write_chrome_trace(
+            trace_path,
+            telemetry_events=sink.events,
+            metadata=collect_provenance(seed=args.seed).as_dict(),
+        )
+        print(f"fleet trace (one track per worker) -> {trace_path} "
+              f"(open in Perfetto)")
     print()
-    print(store.render_status())
+    print(store.render_status(now=pool.now))
     return 0 if report.idle else 1
 
 
+def _render_watch_telemetry(args: argparse.Namespace) -> str:
+    """The telemetry tail (rollups + alerts) of one --watch refresh."""
+    from repro.obs.telemetry import (
+        AlertEngine,
+        load_events,
+        render_alerts,
+        render_windows,
+        rollup,
+        telemetry_path_for,
+        window_origin,
+    )
+
+    sidecar = telemetry_path_for(args.store)
+    if not sidecar.exists():
+        return "no telemetry journal yet (runs appear after `repro serve`)"
+    events = load_events(sidecar)
+    windows = rollup(
+        events, args.window, t0=window_origin(events, args.window)
+    )
+    alerts = AlertEngine().evaluate(windows)
+    tail = windows[-3:]
+    return "\n".join(
+        [render_windows(tail), "alerts: " + render_alerts(alerts)]
+    )
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
-    store = _open_store(args)
-    print(store.render_status())
+    if not getattr(args, "watch", False):
+        print(_open_store(args).render_status())
+        return 0
+    import itertools
+    import time as _time
+
+    refreshes = (
+        range(args.iterations) if args.iterations > 0 else itertools.count()
+    )
+    for i in refreshes:
+        if i:
+            _time.sleep(args.interval)
+        # Re-open per refresh: journal replay picks up transitions other
+        # processes appended since the last render.
+        store = _open_store(args)
+        print(f"--- repro status --watch (refresh {i + 1}) ---")
+        print(store.render_status())
+        print()
+        print(_render_watch_telemetry(args))
+        print(flush=True)
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.errors import ExperimentError
+    from repro.obs.telemetry import (
+        AlertEngine,
+        load_events,
+        render_alerts,
+        render_slo_emission,
+        render_windows,
+        rollup,
+        slo_emission,
+        telemetry_path_for,
+        window_origin,
+    )
+
+    if args.journal or args.store:
+        path = (
+            Path(args.journal) if args.journal
+            else telemetry_path_for(args.store)
+        )
+        if not path.exists():
+            raise ExperimentError(
+                f"no telemetry journal at {path}; drain the store with "
+                "`repro serve` first (it records one automatically)"
+            )
+        events = load_events(path)
+        windows = rollup(
+            events, args.window, t0=window_origin(events, args.window)
+        )
+        alerts = AlertEngine().evaluate(windows)
+        print(f"telemetry journal {path}: {len(events)} event(s), "
+              f"{len(windows)} window(s) at {args.window:g}s")
+        print()
+        print(render_windows(windows))
+        print("alerts: " + render_alerts(alerts))
+        return 0
+
+    if args.gate:
+        from repro.obs.bench import emission_for_baseline
+        from repro.obs.regress import compare_reports, load_baseline
+
+        baseline = load_baseline(args.gate)
+        print(f"slo-check: fresh SLO emission "
+              f"(seed={baseline.get('seed')}, "
+              f"window={baseline.get('window')}) vs baseline {args.gate}")
+        fresh = emission_for_baseline(baseline)
+    else:
+        fresh = slo_emission(seed=args.seed, window=args.window)
+    if args.write_fresh:
+        Path(args.write_fresh).write_text(
+            _json.dumps(fresh, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"fresh emission -> {args.write_fresh}")
+    print(render_slo_emission(fresh))
+    if args.gate:
+        report = compare_reports(fresh, baseline)
+        print()
+        print(report.render())
+        return 0 if report.ok else 1
     return 0
 
 
@@ -997,14 +1139,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--lease-seconds", type=float, default=30.0,
                          help="claim lease before a silent worker's task "
                          "is requeued")
+    p_serve.add_argument("--slo-window", type=float, default=4.0,
+                         metavar="SECONDS",
+                         help="rollup window width for the post-drain SLO "
+                         "summary and alert evaluation (default: 4.0)")
+    p_serve.add_argument("--trace", metavar="PATH",
+                         help="write a fleet Chrome/Perfetto trace of the "
+                         "drain: one track per worker plus a queue track")
     add_store_opts(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_status = sub.add_parser(
-        "status", help="show the statestore queue and result cache"
+        "status", help="show the statestore queue, result cache and "
+        "worker health (optionally as a live dashboard)"
     )
+    p_status.add_argument("--watch", action="store_true",
+                          help="refresh the dashboard repeatedly instead of "
+                          "printing one snapshot")
+    p_status.add_argument("--interval", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="--watch refresh period (default: 2.0)")
+    p_status.add_argument("--iterations", type=int, default=0, metavar="N",
+                          help="stop --watch after N refreshes "
+                          "(default: 0 = until interrupted)")
+    p_status.add_argument("--window", type=float, default=4.0,
+                          metavar="SECONDS",
+                          help="rollup window width for the --watch "
+                          "telemetry tail (default: 4.0)")
     add_store_opts(p_status)
     p_status.set_defaults(func=_cmd_status)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="windowed SLO rollups, health and deterministic alerts over "
+        "a telemetry journal — or the committed synthetic scenario "
+        "(gateable against BENCH_slo.json)",
+    )
+    p_slo.add_argument("--window", type=float, default=4.0,
+                       metavar="SECONDS",
+                       help="rollup window width on the logical clock "
+                       "(default: 4.0)")
+    p_slo.add_argument("--seed", type=int, default=2023,
+                       help="scenario seed for the synthetic SLO emission")
+    p_slo.add_argument("--gate", metavar="BASELINE",
+                       help="compare a fresh synthetic emission against a "
+                       "committed BENCH_slo.json; non-zero exit on "
+                       "regression (make slo-check)")
+    p_slo.add_argument("--write-fresh", metavar="PATH",
+                       help="write the fresh emission as sorted-key JSON "
+                       "(use to [re]generate BENCH_slo.json)")
+    p_slo.add_argument("--journal", metavar="PATH",
+                       help="roll up an explicit telemetry journal instead "
+                       "of running the synthetic scenario")
+    p_slo.add_argument("--store", default=None, metavar="PATH",
+                       help="roll up the telemetry sidecar of this "
+                       "statestore journal (as written by `repro serve`)")
+    p_slo.set_defaults(func=_cmd_slo)
 
     p_info = sub.add_parser("info", help="show the machine presets")
     p_info.set_defaults(func=_cmd_info)

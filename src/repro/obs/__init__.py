@@ -1,6 +1,6 @@
 """repro.obs — the unified observability layer (DESIGN §10).
 
-Four pieces, one taxonomy:
+Five pieces, one taxonomy:
 
 * **spans** (:mod:`repro.obs.tracer`) — timed regions with phase /
   rank / cycle / backend / comm-scheme attributes, propagated
@@ -19,7 +19,11 @@ Four pieces, one taxonomy:
   ``PhaseTimer`` / ``BackendProfile`` / ``VerifyReport`` trio;
 * **the gate** (:mod:`repro.obs.regress`) — per-metric tolerance-band
   comparison of a fresh benchmark emission against a committed
-  ``BENCH_*.json`` baseline (``repro bench-check`` / ``make bench-check``).
+  ``BENCH_*.json`` baseline (``repro bench-check`` / ``make bench-check``);
+* **service telemetry** (:mod:`repro.obs.telemetry`) — fleet-wide SLO
+  rollups, per-worker health and deterministic alerting over the
+  statestore's logically-timestamped event stream
+  (``repro slo`` / ``make slo-check``).
 
 >>> from repro.obs import Tracer, activate, obs_span
 >>> t = Tracer()
@@ -46,6 +50,7 @@ from repro.obs.tracer import (
 from repro.obs.export import (
     chrome_trace,
     cycle_trace_events,
+    service_track_events,
     span_events,
     write_chrome_trace,
 )
@@ -79,6 +84,7 @@ __all__ = [
     "trace_context",
     "chrome_trace",
     "cycle_trace_events",
+    "service_track_events",
     "span_events",
     "write_chrome_trace",
     "Provenance",

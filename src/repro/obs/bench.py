@@ -516,6 +516,18 @@ def emission_for_baseline(baseline: dict) -> dict:
                 "(n_ranks, budget); regenerate it with the current benchmark"
             ) from None
         return tuner_emission(level=level, n_ranks=n_ranks, budget=budget)
+    if kind == "slo":
+        from repro.obs.telemetry.slo import slo_emission
+
+        try:
+            seed = int(baseline["seed"])
+            window = float(baseline["window"])
+        except (KeyError, TypeError, ValueError):
+            raise ExperimentError(
+                "slo baseline is missing its run parameters "
+                "(seed, window); regenerate it with the current benchmark"
+            ) from None
+        return slo_emission(seed=seed, window=window)
     if kind != "backends":
         raise ExperimentError(f"unknown benchmark kind {kind!r} in baseline")
     return backend_emission(level, n_sweeps)

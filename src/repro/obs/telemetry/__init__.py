@@ -1,0 +1,80 @@
+"""Fleet-wide service telemetry: journal, SLO rollups, health, alerts.
+
+The service layers (statestore, worker pool, fleet driver) emit one
+ordered, logically-timestamped event stream through a
+:class:`TelemetrySink`; this package turns that stream into operable
+signal — windowed SLO rollups with deterministic percentiles
+(:mod:`~repro.obs.telemetry.rollup`), a per-worker live/degraded/stuck
+health model (:mod:`~repro.obs.telemetry.health`), declarative alert
+rules with hysteresis (:mod:`~repro.obs.telemetry.alerts`) and the
+committed, gateable SLO scenario behind ``repro slo`` and
+``make slo-check`` (:mod:`~repro.obs.telemetry.slo`).
+
+Everything is a pure function of the logical clock, so every rollup,
+health verdict and alert transition is byte-stable and regression-
+gateable like the rest of the repo (DESIGN §16).
+"""
+
+from repro.obs.telemetry.alerts import (
+    AlertEngine,
+    AlertRule,
+    default_rules,
+    render_alerts,
+)
+from repro.obs.telemetry.events import (
+    NOTE_KINDS,
+    STORE_OPS,
+    TelemetrySink,
+    load_events,
+    telemetry_path_for,
+)
+from repro.obs.telemetry.health import (
+    WorkerHealth,
+    classify_heartbeat_age,
+    health_from_store,
+    worker_health,
+)
+from repro.obs.telemetry.rollup import (
+    WindowRollup,
+    merge,
+    overall,
+    percentile,
+    rollup,
+    window_origin,
+)
+from repro.obs.telemetry.slo import (
+    ScenarioRun,
+    render_slo_emission,
+    render_windows,
+    run_slo_scenario,
+    slo_emission,
+    stable_slo_bytes,
+)
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "NOTE_KINDS",
+    "STORE_OPS",
+    "ScenarioRun",
+    "TelemetrySink",
+    "WindowRollup",
+    "WorkerHealth",
+    "classify_heartbeat_age",
+    "default_rules",
+    "health_from_store",
+    "load_events",
+    "merge",
+    "overall",
+    "percentile",
+    "render_alerts",
+    "render_slo_emission",
+    "render_windows",
+    "rollup",
+    "run_slo_scenario",
+    "slo_emission",
+    "stable_slo_bytes",
+    "telemetry_path_for",
+    "window_origin",
+    "worker_health",
+]

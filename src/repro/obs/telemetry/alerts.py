@@ -1,0 +1,260 @@
+"""Declarative threshold alerting with hysteresis (DESIGN §16.4).
+
+An :class:`AlertRule` names one rollup metric (the vocabulary of
+:meth:`~repro.obs.telemetry.rollup.WindowRollup.metric`), a comparison
+against a threshold, and two streak lengths: the rule **fires** only
+after ``fire_after`` consecutive breaching windows and **clears** only
+after ``clear_after`` consecutive healthy ones — classic hysteresis, so
+a single noisy window neither raises nor silences an alert.
+
+Rules may carry a *guard*: minimum metric values a window must meet
+before the rule is evaluated at all.  A guard-unmet window counts as
+healthy — ``crash_rate`` over zero claims is 0/0, not an incident — so
+small-sample windows can never fire and an active alert still clears
+through quiet periods.
+
+Everything is a pure function of the rollup windows, which are a pure
+function of the logically-clocked event stream, so the alert sequence
+of a seeded chaos run is byte-stable and pinned by tests (the
+``worker_crash`` ⇒ ``crash_rate_spike`` contract in ISSUE 10).
+
+>>> from repro.obs.telemetry.rollup import WindowRollup
+>>> w0 = WindowRollup(index=0, start=0.0, end=4.0)
+>>> w0.counts.update(claimed=4, crashes=2)
+>>> w1 = WindowRollup(index=1, start=4.0, end=8.0)
+>>> engine = AlertEngine()
+>>> [(a["rule"], a["action"], a["window"]) for a in engine.evaluate([w0, w1])]
+[('crash_rate_spike', 'fired', 0)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.telemetry.rollup import WindowRollup
+
+#: Comparison operators an :class:`AlertRule` may use.
+OPS = (">", "<")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative SLO threshold with hysteresis.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier recorded in alert events.
+    metric:
+        A :meth:`WindowRollup.metric` name (``crash_rate``,
+        ``oldest_waiting_age``, ``cache_hit_ratio``, …).
+    op, threshold:
+        A window breaches when ``metric op threshold`` holds
+        (``">"`` for ceilings, ``"<"`` for floors).
+    fire_after:
+        Consecutive breaching windows required before the rule fires.
+    clear_after:
+        Consecutive healthy windows required before an active alert
+        clears.
+    guard:
+        ``{metric: minimum}`` preconditions; a window missing any
+        minimum is treated as healthy (never breaches).
+    description:
+        One-line operator-facing summary.
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    fire_after: int = 1
+    clear_after: int = 1
+    guard: Mapping[str, float] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ReproError(
+                f"alert rule {self.name!r}: op must be one of {OPS}, "
+                f"got {self.op!r}"
+            )
+        if self.fire_after < 1 or self.clear_after < 1:
+            raise ReproError(
+                f"alert rule {self.name!r}: fire_after/clear_after must be >= 1"
+            )
+
+    def breaches(self, window: WindowRollup) -> bool:
+        """Does this window violate the rule (guards included)?
+
+        >>> from repro.obs.telemetry.rollup import WindowRollup
+        >>> rule = AlertRule("r", "crash_rate", ">", 0.25,
+        ...                  guard={"claimed": 1})
+        >>> rule.breaches(WindowRollup(index=0, start=0.0, end=1.0))
+        False
+        """
+        for guard_metric in sorted(self.guard):
+            if window.metric(guard_metric) < float(self.guard[guard_metric]):
+                return False
+        value = window.metric(self.metric)
+        return value > self.threshold if self.op == ">" else value < self.threshold
+
+
+def default_rules() -> List[AlertRule]:
+    """The stock SLO rule set every engine starts from (DESIGN §16.4)."""
+    return [
+        AlertRule(
+            name="crash_rate_spike",
+            metric="crash_rate",
+            op=">",
+            threshold=0.25,
+            fire_after=1,
+            clear_after=2,
+            guard={"claimed": 1},
+            description="more than a quarter of claims crashed the worker",
+        ),
+        AlertRule(
+            name="error_rate_spike",
+            metric="failure_rate",
+            op=">",
+            threshold=0.5,
+            fire_after=1,
+            clear_after=2,
+            guard={"claimed": 1},
+            description="over half of claimed attempts reported failure",
+        ),
+        AlertRule(
+            name="lease_expiry_storm",
+            metric="lease_expiries",
+            op=">",
+            threshold=2.0,
+            fire_after=1,
+            clear_after=1,
+            description="three or more leases expired in one window",
+        ),
+        AlertRule(
+            name="queue_age_ceiling",
+            metric="oldest_waiting_age",
+            op=">",
+            threshold=8.0,
+            fire_after=2,
+            clear_after=1,
+            description="a task has been waiting beyond the age ceiling "
+            "for two consecutive windows",
+        ),
+        AlertRule(
+            name="cache_hit_floor",
+            metric="cache_hit_ratio",
+            op="<",
+            threshold=0.05,
+            fire_after=2,
+            clear_after=1,
+            guard={"cache_lookups": 16.0},
+            description="cache-hit ratio collapsed despite substantial "
+            "lookup traffic",
+        ),
+    ]
+
+
+class AlertEngine:
+    """Evaluate a rule set over a window sequence, deterministically.
+
+    The engine is stateless between calls: :meth:`evaluate` walks the
+    windows in order, tracks per-rule breach/health streaks, and emits
+    one ``fired``/``cleared`` transition event per state change.  The
+    result is sorted by ``(t, rule, action)`` so the alert sequence for
+    a given event stream is unique.
+    """
+
+    def __init__(self, rules: Optional[Sequence[AlertRule]] = None) -> None:
+        self.rules: List[AlertRule] = (
+            list(rules) if rules is not None else default_rules()
+        )
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate alert rule names: {sorted(names)}")
+
+    def evaluate(
+        self,
+        windows: Sequence[WindowRollup],
+        *,
+        sink=None,
+    ) -> List[Dict[str, Any]]:
+        """All alert transitions over *windows*, in deterministic order.
+
+        Each transition is
+        ``{"rule", "action", "window", "t", "metric", "value",
+        "threshold"}`` with ``t`` the end of the deciding window.  When
+        *sink* (a :class:`~repro.obs.telemetry.events.TelemetrySink`)
+        is given, every transition is also recorded in the telemetry
+        journal as an ``alert`` note — alerts are part of the service's
+        history, not just a rendering.
+        """
+        alerts: List[Dict[str, Any]] = []
+        for rule in self.rules:
+            breaching_streak = 0
+            healthy_streak = 0
+            active = False
+            for window in windows:
+                if rule.breaches(window):
+                    breaching_streak += 1
+                    healthy_streak = 0
+                else:
+                    healthy_streak += 1
+                    breaching_streak = 0
+                if not active and breaching_streak >= rule.fire_after:
+                    active = True
+                    alerts.append(self._transition(rule, window, "fired"))
+                elif active and healthy_streak >= rule.clear_after:
+                    active = False
+                    alerts.append(self._transition(rule, window, "cleared"))
+        alerts.sort(key=lambda a: (a["t"], a["rule"], a["action"]))
+        if sink is not None:
+            for alert in alerts:
+                sink.note(
+                    "alert",
+                    alert["t"],
+                    rule=alert["rule"],
+                    action=alert["action"],
+                    window=alert["window"],
+                    metric=alert["metric"],
+                    value=alert["value"],
+                    threshold=alert["threshold"],
+                )
+        return alerts
+
+    @staticmethod
+    def _transition(
+        rule: AlertRule, window: WindowRollup, action: str
+    ) -> Dict[str, Any]:
+        return {
+            "rule": rule.name,
+            "action": action,
+            "window": window.index,
+            "t": window.end,
+            "metric": rule.metric,
+            "value": window.metric(rule.metric),
+            "threshold": rule.threshold,
+        }
+
+
+def render_alerts(alerts: Sequence[Dict[str, Any]]) -> str:
+    """One operator-facing line per alert transition.
+
+    >>> print(render_alerts([{"rule": "crash_rate_spike", "action": "fired",
+    ...                       "window": 0, "t": 4.0, "metric": "crash_rate",
+    ...                       "value": 0.5, "threshold": 0.25}]))
+    [t=4] FIRED crash_rate_spike: crash_rate=0.5 > threshold 0.25 (window 0)
+    """
+    if not alerts:
+        return "no alerts"
+    lines = []
+    for a in alerts:
+        lines.append(
+            f"[t={a['t']:g}] {a['action'].upper()} {a['rule']}: "
+            f"{a['metric']}={a['value']:g} "
+            f"{'>' if a['action'] == 'fired' else 'vs'} "
+            f"threshold {a['threshold']:g} (window {a['window']})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Per-worker health model: live / degraded / stuck / idle (DESIGN §16.3).
+
+A worker's health is derived from two deterministic inputs — the age of
+its last store contact (claim, start, heartbeat, complete or fail, all
+stamped with the logical clock) and the store's lease duration.  The
+same classification feeds three surfaces: the telemetry rollups, the
+``repro status`` dashboard (via
+:meth:`repro.service.statestore.StateStore.render_status`) and the
+``repro slo`` health table, so a "stuck" verdict means the same thing
+everywhere.
+
+The thresholds mirror the lease contract: a worker that has been silent
+longer than its lease would already have had its tasks requeued by
+:meth:`~repro.service.statestore.StateStore.expire_leases`, so silence
+past one lease is *degraded* and past :data:`STUCK_LEASE_FACTOR` leases
+is *stuck*.  A worker holding no live task cannot be stuck — it is
+*idle* no matter how old its last contact is.
+
+>>> classify_heartbeat_age(0.5, lease_seconds=2.0, holds_live_task=True)
+'live'
+>>> classify_heartbeat_age(3.0, lease_seconds=2.0, holds_live_task=True)
+'degraded'
+>>> classify_heartbeat_age(5.0, lease_seconds=2.0, holds_live_task=True)
+'stuck'
+>>> classify_heartbeat_age(99.0, lease_seconds=2.0, holds_live_task=False)
+'idle'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Health states, from best to worst.
+LIVE = "live"
+IDLE = "idle"
+DEGRADED = "degraded"
+STUCK = "stuck"
+
+#: Heartbeat age beyond this many leases marks a task-holding worker
+#: as stuck (between 1 and this factor it is merely degraded).
+STUCK_LEASE_FACTOR = 2.0
+
+
+def classify_heartbeat_age(
+    age: float, lease_seconds: float, *, holds_live_task: bool = True
+) -> str:
+    """The health state for one worker's heartbeat *age*.
+
+    ``age`` is ``now - last_contact`` on the logical clock;
+    ``holds_live_task`` distinguishes a slow worker (claimed/running
+    work but silent) from a finished one (nothing claimed — idle, never
+    stuck).
+    """
+    if not holds_live_task:
+        return IDLE
+    if age <= lease_seconds:
+        return LIVE
+    if age <= STUCK_LEASE_FACTOR * lease_seconds:
+        return DEGRADED
+    return STUCK
+
+
+@dataclass(frozen=True)
+class WorkerHealth:
+    """One worker's health verdict at a given logical instant."""
+
+    worker: str
+    last_heartbeat: float
+    age: float
+    state: str
+    live_tasks: int
+
+    def describe(self) -> str:
+        """One dashboard row, e.g. ``w0: last heartbeat 1.0s ago [live]``."""
+        return (
+            f"{self.worker}: last heartbeat {self.age:g}s ago "
+            f"[{self.state}] ({self.live_tasks} live task(s))"
+        )
+
+
+def worker_health(
+    heartbeats: Dict[str, float],
+    live_tasks: Dict[str, int],
+    now: float,
+    lease_seconds: float,
+) -> List[WorkerHealth]:
+    """Classify every known worker, sorted by worker id.
+
+    ``heartbeats`` maps worker id to the logical time of its last store
+    contact; ``live_tasks`` to the number of claimed/running tasks it
+    currently holds (absent means 0).
+
+    >>> rows = worker_health({"w0": 4.0, "w1": 1.0}, {"w1": 1}, 6.0, 2.0)
+    >>> [(r.worker, r.state) for r in rows]
+    [('w0', 'idle'), ('w1', 'stuck')]
+    """
+    out: List[WorkerHealth] = []
+    for worker in sorted(heartbeats):
+        last = float(heartbeats[worker])
+        age = max(0.0, float(now) - last)
+        holding = int(live_tasks.get(worker, 0))
+        out.append(
+            WorkerHealth(
+                worker=worker,
+                last_heartbeat=last,
+                age=age,
+                state=classify_heartbeat_age(
+                    age, lease_seconds, holds_live_task=holding > 0
+                ),
+                live_tasks=holding,
+            )
+        )
+    return out
+
+
+def health_from_store(store, now: float) -> List[WorkerHealth]:
+    """Health rows for every worker a statestore has heard from.
+
+    ``store`` is duck-typed (anything exposing ``worker_heartbeats()``,
+    ``tasks()`` and ``lease_seconds``) so this module never imports
+    :mod:`repro.service`.
+    """
+    live: Dict[str, int] = {}
+    for task in store.tasks():
+        if task.live and task.worker is not None:
+            live[task.worker] = live.get(task.worker, 0) + 1
+    return worker_health(
+        store.worker_heartbeats(), live, now, store.lease_seconds
+    )

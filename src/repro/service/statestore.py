@@ -93,6 +93,7 @@ class TaskRecord:
     submit_index: int = 0
     submitted_at: float = 0.0
     not_before: float = 0.0
+    waiting_since: float = 0.0
     worker: Optional[str] = None
     lease_expires: Optional[float] = None
     error: str = ""
@@ -156,6 +157,12 @@ class StateStore:
         Time source used when a mutator is called without an explicit
         ``now`` (defaults to :func:`time.time`); tests pass logical
         times instead.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.events.TelemetrySink`.
+        Every **live** journal transition (plus cache hits, dedups and
+        lease expiries, which never reach the journal themselves) is
+        sampled into it; journal *replay* does not re-sample — the
+        telemetry journal is its own history.
     """
 
     def __init__(
@@ -168,6 +175,7 @@ class StateStore:
         backoff_base: float = 1.0,
         backoff_factor: float = 2.0,
         clock: Optional[Callable[[], float]] = None,
+        telemetry=None,
     ) -> None:
         if lease_seconds <= 0:
             raise ServiceError(f"lease_seconds must be > 0, got {lease_seconds}")
@@ -177,10 +185,12 @@ class StateStore:
         self.backoff_base = float(backoff_base)
         self.backoff_factor = float(backoff_factor)
         self._clock = clock or time.time
+        self.telemetry = telemetry
         self._tasks: Dict[str, TaskRecord] = {}
         self._by_key: Dict[str, str] = {}
         self._results: Dict[str, Dict[str, Any]] = {}
         self._quotas: Dict[str, int] = {}
+        self._worker_heartbeats: Dict[str, float] = {}
         self._submit_counter = 0
         self._journal: Optional[Path] = None
         if path is not None:
@@ -214,6 +224,22 @@ class StateStore:
         if self._journal is not None:
             with self._journal.open("a") as fh:
                 fh.write(json.dumps(event, sort_keys=True) + "\n")
+        if self.telemetry is not None:
+            self.telemetry.record_store_op(event)
+
+    def attach_telemetry(self, sink) -> None:
+        """Start sampling live transitions into *sink* from now on.
+
+        Past history is not backfilled — resume a telemetry sidecar
+        journal (:func:`repro.obs.telemetry.events.load_events`) for
+        that.
+        """
+        self.telemetry = sink
+
+    def _note(self, kind: str, t: float, **fields: Any) -> None:
+        """Record one non-journal telemetry instant, if a sink is attached."""
+        if self.telemetry is not None:
+            self.telemetry.note(kind, t, **fields)
 
     def _now(self, now: Optional[float]) -> float:
         return float(self._clock() if now is None else now)
@@ -244,6 +270,7 @@ class StateStore:
             submit_index=self._submit_counter,
             submitted_at=float(ev["now"]),
             not_before=float(ev["now"]),
+            waiting_since=float(ev["now"]),
         )
         self._tasks[task.task_id] = task
         self._by_key[task.key] = task.task_id
@@ -252,10 +279,10 @@ class StateStore:
         task = self._tasks[ev["task_id"]]
         task.status = WAITING
         task.attempts = 0
-        task.worker = None
-        task.lease_expires = None
+        self._release_worker(task)
         task.error = ""
         task.not_before = float(ev["now"])
+        task.waiting_since = float(ev["now"])
         task.resubmissions += 1
 
     def _apply_claim(self, ev: Dict[str, Any]) -> None:
@@ -264,34 +291,47 @@ class StateStore:
         task.worker = ev["worker"]
         task.attempts += 1
         task.lease_expires = float(ev["lease_expires"])
+        self._worker_heartbeats[ev["worker"]] = float(ev["now"])
 
     def _apply_start(self, ev: Dict[str, Any]) -> None:
         self._tasks[ev["task_id"]].status = RUNNING
+        self._worker_heartbeats[ev["worker"]] = float(ev["now"])
 
     def _apply_heartbeat(self, ev: Dict[str, Any]) -> None:
         self._tasks[ev["task_id"]].lease_expires = float(ev["lease_expires"])
+        self._worker_heartbeats[ev["worker"]] = float(ev["now"])
 
     def _apply_complete(self, ev: Dict[str, Any]) -> None:
         task = self._tasks[ev["task_id"]]
         task.status = COMPLETE
-        task.worker = None
-        task.lease_expires = None
+        self._release_worker(task)
         self._results[task.key] = ev["result"]
+        self._worker_heartbeats[ev["worker"]] = float(ev["now"])
 
     def _apply_requeue(self, ev: Dict[str, Any]) -> None:
         task = self._tasks[ev["task_id"]]
-        task.worker = None
-        task.lease_expires = None
+        # A worker-reported failure is still worker contact; a lease
+        # expiry is precisely the absence of it.
+        worker = ev.get("worker")
+        if worker and not ev.get("expired", False):
+            self._worker_heartbeats[worker] = float(ev["now"])
+        self._release_worker(task)
         task.error = ev.get("error", "")
         if ev["terminal"]:
             task.status = ERRORED
         else:
             task.status = WAITING
             task.not_before = float(ev["not_before"])
+            task.waiting_since = float(ev["now"])
 
     def _apply_cancel(self, ev: Dict[str, Any]) -> None:
         task = self._tasks[ev["task_id"]]
         task.status = CANCELLED
+        self._release_worker(task)
+
+    @staticmethod
+    def _release_worker(task: TaskRecord) -> None:
+        """Drop a task's worker binding (shared by every leaving transition)."""
         task.worker = None
         task.lease_expires = None
 
@@ -325,10 +365,16 @@ class StateStore:
         if existing_id is not None:
             existing = self._tasks[existing_id]
             if existing.status == COMPLETE:
+                # Cache hits bypass the journal (no state changes), so
+                # the telemetry sample happens here, not in _record.
+                self._note("cache_hit", now, task=existing.task_id,
+                           key=key, client=client)
                 return SubmitOutcome(
                     task=existing, cache_hit=True, result=self._results.get(key)
                 )
             if existing.live:
+                self._note("dedup", now, task=existing.task_id,
+                           key=key, client=client)
                 return SubmitOutcome(task=existing, deduplicated=True)
             if existing.status == ERRORED:
                 self._check_quota(client, now)
@@ -460,15 +506,27 @@ class StateStore:
         self._requeue(task, error=error, now=now)
         return task
 
-    def _requeue(self, task: TaskRecord, error: str, now: float) -> None:
+    def _requeue(
+        self, task: TaskRecord, error: str, now: float, *, expired: bool = False
+    ) -> None:
+        """The one requeue/backoff path shared by ``fail`` and lease expiry.
+
+        Emits the single ``requeue`` journal op both callers share:
+        terminality (``attempts > max_retries``), the exponential
+        backoff eligibility delay, the reporting worker and whether the
+        requeue came from a lease expiry (``expired``) are all decided
+        here, so the two failure paths cannot drift apart.
+        """
         terminal = task.attempts > task.max_retries
         delay = self.backoff_base * self.backoff_factor ** (task.attempts - 1)
         self._record(
             {
                 "op": "requeue",
                 "task_id": task.task_id,
+                "worker": task.worker,
                 "error": error,
                 "terminal": terminal,
+                "expired": expired,
                 "not_before": now + delay,
                 "now": now,
             }
@@ -482,6 +540,8 @@ class StateStore:
         return to the queue here (or reach terminal ``errored`` once
         the retry budget is spent).
         """
+        from repro.obs import obs_counter
+
         now = self._now(now)
         expired = [
             t for t in self._tasks.values()
@@ -489,8 +549,11 @@ class StateStore:
             and t.lease_expires is not None and t.lease_expires < now
         ]
         for task in sorted(expired, key=lambda t: t.submit_index):
+            obs_counter("service.lease_expiries")
+            self._note("lease_expiry", now, task=task.task_id,
+                       worker=task.worker)
             self._requeue(task, error=f"lease expired (worker {task.worker})",
-                          now=now)
+                          now=now, expired=True)
         return expired
 
     def cancel(self, task_id: str, now: Optional[float] = None) -> None:
@@ -530,6 +593,18 @@ class StateStore:
         ]
         return sorted(out, key=lambda t: t.submit_index)
 
+    def worker_heartbeats(self) -> Dict[str, float]:
+        """Last store-contact time per worker (claim/start/heartbeat/
+        complete/fail), rebuilt identically by journal replay.
+
+        >>> s = StateStore()
+        >>> _ = s.submit({}, key="k", now=0.0)
+        >>> _ = s.claim("w0", now=1.0)
+        >>> s.worker_heartbeats()
+        {'w0': 1.0}
+        """
+        return dict(self._worker_heartbeats)
+
     def counts(self) -> Dict[str, int]:
         """Task counts per lifecycle status (zero statuses omitted).
 
@@ -545,10 +620,33 @@ class StateStore:
                 out[status] = n
         return out
 
-    def render_status(self) -> str:
-        """Human-readable queue dashboard (the ``repro status`` output)."""
+    def oldest_waiting_age(self, now: Optional[float] = None) -> float:
+        """Age of the longest-waiting eligible task (0.0 for an empty queue).
+
+        >>> s = StateStore()
+        >>> _ = s.submit({}, key="k", now=1.0)
+        >>> s.oldest_waiting_age(now=4.0)
+        3.0
+        """
+        now = self._now(now)
+        waiting = [t for t in self._tasks.values() if t.status == WAITING]
+        if not waiting:
+            return 0.0
+        return max(0.0, now - min(t.waiting_since for t in waiting))
+
+    def render_status(self, now: Optional[float] = None) -> str:
+        """Human-readable queue dashboard (the ``repro status`` output).
+
+        Beyond the per-task table this surfaces the service health
+        signals — per-worker last-heartbeat age with its
+        live/degraded/stuck verdict and the oldest-waiting queue age —
+        sourced from the same model the telemetry rollups use
+        (:mod:`repro.obs.telemetry.health`).
+        """
+        from repro.obs.telemetry.health import health_from_store
         from repro.utils.reports import TableFormatter
 
+        now = self._now(now)
         lines = [
             f"statestore: {len(self._tasks)} task(s), "
             f"{len(self._results)} cached result(s)"
@@ -557,6 +655,10 @@ class StateStore:
         counts = self.counts()
         if counts:
             lines.append("  " + "  ".join(f"{k}={v}" for k, v in counts.items()))
+        if counts.get(WAITING):
+            lines.append(
+                f"  oldest waiting task: {self.oldest_waiting_age(now):g}s"
+            )
         if self._tasks:
             table = TableFormatter(
                 ["task", "status", "prio", "attempts", "client", "worker", "key"],
@@ -567,6 +669,18 @@ class StateStore:
                     t.task_id, t.status, t.priority,
                     f"{t.attempts}/{t.max_retries + 1}",
                     t.client, t.worker or "-", t.key[:16],
+                ])
+            lines += ["", table.render()]
+        health = health_from_store(self, now)
+        if health:
+            table = TableFormatter(
+                ["worker", "last heartbeat", "age", "state", "live tasks"],
+                title="workers",
+            )
+            for row in health:
+                table.add_row([
+                    row.worker, f"t={row.last_heartbeat:g}",
+                    f"{row.age:g}s", row.state, row.live_tasks,
                 ])
             lines += ["", table.render()]
         return "\n".join(lines)

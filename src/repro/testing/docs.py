@@ -32,6 +32,12 @@ AUDITED_MODULES = (
     "repro.obs.analyze.diff",
     "repro.obs.analyze.history",
     "repro.obs.analyze.scaling",
+    "repro.obs.telemetry",
+    "repro.obs.telemetry.events",
+    "repro.obs.telemetry.rollup",
+    "repro.obs.telemetry.health",
+    "repro.obs.telemetry.alerts",
+    "repro.obs.telemetry.slo",
     "repro.service",
     "repro.service.statestore",
     "repro.service.jobs",
